@@ -1,0 +1,130 @@
+// Command oo7bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	oo7bench -exp fig4            # one figure
+//	oo7bench -exp table2          # a table
+//	oo7bench -exp all             # everything (EXPERIMENTS.md source)
+//	oo7bench -exp fig15 -scale 4  # big-database figure at 1/4 size
+//	oo7bench -exp fig4 -diag      # include resource-utilization diagnostics
+//
+// -scale divides the database size and client memory budgets; 1 is the
+// paper's full configuration. The relative shapes are stable across scales;
+// EXPERIMENTS.md records full-scale results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4..fig18|all")
+		scale   = flag.Int("scale", 1, "divide database size and client memory by this factor")
+		clients = flag.String("clients", "1,2,3,4,5", "comma-separated client counts")
+		measure = flag.Int("measure", 2, "measured traversals per client")
+		warm    = flag.Int("warm", 1, "warm-up traversals per client")
+		seed    = flag.Int64("seed", 7, "database generation seed")
+		diag    = flag.Bool("diag", false, "print resource utilizations per cell")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	var cl []int
+	for _, part := range strings.Split(*clients, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "oo7bench: bad -clients %q\n", *clients)
+			os.Exit(2)
+		}
+		cl = append(cl, n)
+	}
+	r := harness.NewRunner(harness.Options{
+		Scale:   *scale,
+		Clients: cl,
+		Measure: *measure,
+		Warm:    *warm,
+		Seed:    *seed,
+	})
+	if err := run(r, *exp, *diag, *csv); err != nil {
+		fmt.Fprintf(os.Stderr, "oo7bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(r *harness.Runner, exp string, diag, csv bool) error {
+	start := time.Now()
+	defer func() {
+		if !csv {
+			fmt.Printf("(elapsed %v, scale %d)\n", time.Since(start).Round(time.Millisecond), r.Options().Scale)
+		}
+	}()
+	show := func(t *harness.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(t.CSV())
+			fmt.Println()
+		} else {
+			fmt.Println(t.Format())
+		}
+		return nil
+	}
+	switch {
+	case exp == "table1":
+		return show(harness.Table1(), nil)
+	case exp == "table2":
+		return show(r.Table2())
+	case exp == "table3":
+		return show(harness.Table3(), nil)
+	case exp == "all":
+		if err := show(harness.Table1(), nil); err != nil {
+			return err
+		}
+		if err := show(r.Table2()); err != nil {
+			return err
+		}
+		if err := show(harness.Table3(), nil); err != nil {
+			return err
+		}
+		for _, id := range harness.FigureIDs() {
+			if err := show(r.Figure(id)); err != nil {
+				return err
+			}
+			if diag {
+				printDiag(r, id)
+			}
+		}
+		return nil
+	case strings.HasPrefix(exp, "fig"):
+		n, err := strconv.Atoi(strings.TrimPrefix(exp, "fig"))
+		if err != nil {
+			return fmt.Errorf("bad experiment %q", exp)
+		}
+		if err := show(r.Figure(n)); err != nil {
+			return err
+		}
+		if diag {
+			printDiag(r, n)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func printDiag(r *harness.Runner, fig int) {
+	for _, c := range r.Cells(fig) {
+		fmt.Printf("  %-11s n=%d rt=%6.1fs tpm=%6.2f log=%6.1f total=%6.1f spills=%5.1f fetch=%6.1f net=%3.0f%% logd=%3.0f%% datad=%3.0f%% scpu=%3.0f%%\n",
+			c.System, c.Clients, c.RespTime.Seconds(), c.TPM, c.LogPages, c.TotalPages,
+			c.Spills, c.Fetches, 100*c.NetUtil, 100*c.LogUtil, 100*c.DataUtil, 100*c.ServerUtil)
+	}
+	fmt.Println()
+}

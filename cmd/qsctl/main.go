@@ -1,0 +1,137 @@
+// Command qsctl pokes a running quickstored server: writes and reads test
+// objects, measures round-trip latency, and exercises transactions from the
+// command line.
+//
+//	qsctl -addr localhost:7447 put "some bytes"   # prints the new OID
+//	qsctl -addr localhost:7447 get P7.0
+//	qsctl -addr localhost:7447 -n 100 bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	quickstore "repro"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "localhost:7447", "server address")
+		scheme = flag.String("scheme", "pd-esm", "client scheme: pd-esm|sd-esm|sl-esm|pd-redo|wpl")
+		n      = flag.Int("n", 100, "bench: transactions to run")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench")
+		os.Exit(2)
+	}
+	sc, ok := map[string]quickstore.Scheme{
+		"pd-esm":  quickstore.PDESM,
+		"sd-esm":  quickstore.SDESM,
+		"sl-esm":  quickstore.SLESM,
+		"pd-redo": quickstore.PDREDO,
+		"wpl":     quickstore.WPL,
+	}[*scheme]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "qsctl: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	store, err := quickstore.Dial(*addr, quickstore.Options{Scheme: sc})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+
+	switch flag.Arg(0) {
+	case "put":
+		data := []byte(flag.Arg(1))
+		var oid quickstore.OID
+		err = store.Update(func(tx *quickstore.Tx) error {
+			var err error
+			oid, err = tx.Allocate(len(data))
+			if err != nil {
+				return err
+			}
+			return tx.Write(oid, 0, data)
+		})
+		if err == nil {
+			fmt.Println(oid)
+		}
+	case "get":
+		oid, perr := parseOID(flag.Arg(1))
+		if perr != nil {
+			err = perr
+			break
+		}
+		err = store.View(func(tx *quickstore.Tx) error {
+			data, err := tx.ReadObject(oid)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s\n", data)
+			return nil
+		})
+	case "bench":
+		start := time.Now()
+		for i := 0; i < *n; i++ {
+			err = store.Update(func(tx *quickstore.Tx) error {
+				oid, err := tx.Allocate(64)
+				if err != nil {
+					return err
+				}
+				return tx.Write(oid, 0, []byte(fmt.Sprintf("bench %d", i)))
+			})
+			if err != nil {
+				break
+			}
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%d txns in %v (%.0f txn/s)\n", *n, elapsed.Round(time.Millisecond),
+			float64(*n)/elapsed.Seconds())
+	default:
+		err = fmt.Errorf("unknown command %q", flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseOID parses the P<page>.<slot> form printed by OID.String.
+func parseOID(s string) (quickstore.OID, error) {
+	s = strings.TrimPrefix(s, "P")
+	parts := strings.SplitN(s, ".", 2)
+	if len(parts) != 2 {
+		return quickstore.NilOID, fmt.Errorf("bad OID %q (want P<page>.<slot>)", s)
+	}
+	pg, err := strconv.ParseUint(parts[0], 10, 32)
+	if err != nil {
+		return quickstore.NilOID, err
+	}
+	slot, err := strconv.ParseUint(parts[1], 10, 16)
+	if err != nil {
+		return quickstore.NilOID, err
+	}
+	var oid quickstore.OID
+	var b [8]byte
+	// Build via the encoded form to avoid depending on internal field types.
+	putOID(b[:], uint32(pg), uint16(slot))
+	oid = quickstore.DecodeOID(b[:])
+	return oid, nil
+}
+
+func putOID(b []byte, pg uint32, slot uint16) {
+	b[0] = byte(pg)
+	b[1] = byte(pg >> 8)
+	b[2] = byte(pg >> 16)
+	b[3] = byte(pg >> 24)
+	b[4] = byte(slot)
+	b[5] = byte(slot >> 8)
+	b[6] = 0
+	b[7] = 0
+}

@@ -1,0 +1,95 @@
+// Command quickstored runs the storage server as a standalone daemon,
+// serving QuickStore clients over TCP (see quickstore.Dial and cmd/qsctl).
+//
+//	quickstored -addr :7447 -mode esm -data /var/lib/quickstore/vol
+//
+// The recovery mode must match the scheme clients connect with: esm for
+// PD-ESM/SD-ESM/SL-ESM, redo for PD-REDO, wpl for WPL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7447", "listen address")
+		mode    = flag.String("mode", "esm", "recovery mode: esm|redo|wpl")
+		data    = flag.String("data", "", "data volume file (empty = in-memory)")
+		cacheMB = flag.Int("cache", 36, "server buffer pool (MB)")
+		logMB   = flag.Int("log", 256, "transaction log capacity (MB)")
+	)
+	flag.Parse()
+
+	var m server.Mode
+	switch *mode {
+	case "esm":
+		m = server.ModeESM
+	case "redo":
+		m = server.ModeREDO
+	case "wpl":
+		m = server.ModeWPL
+	default:
+		fmt.Fprintf(os.Stderr, "quickstored: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
+		Mode:        m,
+		PoolPages:   *cacheMB << 20 / page.Size,
+		LogCapacity: *logMB << 20,
+	}
+	recover := false
+	if *data != "" {
+		fs, err := disk.OpenFileStore(*data)
+		if err != nil {
+			log.Fatalf("quickstored: opening volume: %v", err)
+		}
+		recover = fs.Pages() > 0
+		cfg.Store = fs
+	}
+	srv := server.New(cfg)
+	if recover {
+		if err := srv.NewSession(nil, nil).Restart(); err != nil {
+			log.Fatalf("quickstored: recovery: %v", err)
+		}
+		log.Printf("recovered volume %s", *data)
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("quickstored: %v", err)
+	}
+	log.Printf("quickstored listening on %s (mode %v, cache %d MB, log %d MB)",
+		lis.Addr(), m, *cacheMB, *logMB)
+
+	// Orderly shutdown: checkpoint so a file-backed volume reopens clean.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("shutting down: checkpointing")
+		if err := srv.NewSession(nil, nil).Checkpoint(); err != nil {
+			log.Printf("checkpoint failed: %v", err)
+		}
+		st := srv.Stats()
+		log.Printf("served %d commits, %d aborts, %d pages", st.Commits, st.Aborts, st.PagesServed)
+		lis.Close()
+		os.Exit(0)
+	}()
+
+	if err := wire.Serve(lis, srv); err != nil {
+		log.Fatalf("quickstored: %v", err)
+	}
+}

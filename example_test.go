@@ -1,0 +1,86 @@
+package quickstore_test
+
+import (
+	"fmt"
+
+	quickstore "repro"
+)
+
+// The basic lifecycle: open an embedded store, commit an object, read it
+// back after a crash.
+func Example() {
+	store, err := quickstore.Open(quickstore.Options{Scheme: quickstore.PDESM, LogMB: 32})
+	if err != nil {
+		panic(err)
+	}
+	defer store.Close()
+
+	var oid quickstore.OID
+	err = store.Update(func(tx *quickstore.Tx) error {
+		var err error
+		oid, err = tx.Allocate(32)
+		if err != nil {
+			return err
+		}
+		return tx.Write(oid, 0, []byte("durable"))
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	if err := store.Crash(); err != nil {
+		panic(err)
+	}
+
+	store.View(func(tx *quickstore.Tx) error {
+		data := make([]byte, 7)
+		tx.Read(oid, 0, data)
+		fmt.Printf("%s\n", data)
+		return nil
+	})
+	// Output: durable
+}
+
+// Transactions roll back automatically when the update function errors.
+func ExampleStore_Update() {
+	store, _ := quickstore.Open(quickstore.Options{LogMB: 32})
+	defer store.Close()
+
+	var oid quickstore.OID
+	store.Update(func(tx *quickstore.Tx) error {
+		oid, _ = tx.Allocate(8)
+		return tx.Write(oid, 0, []byte("original"))
+	})
+	store.Update(func(tx *quickstore.Tx) error {
+		tx.Write(oid, 0, []byte("mistake!"))
+		return fmt.Errorf("changed my mind")
+	})
+	store.View(func(tx *quickstore.Tx) error {
+		data, _ := tx.ReadObject(oid)
+		fmt.Printf("%s\n", data)
+		return nil
+	})
+	// Output: original
+}
+
+// Objects reference each other with OIDs embedded in their data.
+func ExampleEncodeOID() {
+	store, _ := quickstore.Open(quickstore.Options{LogMB: 32})
+	defer store.Close()
+
+	store.Update(func(tx *quickstore.Tx) error {
+		target, _ := tx.Allocate(5)
+		tx.Write(target, 0, []byte("hello"))
+		holder, _ := tx.Allocate(quickstore.OIDSize)
+		ref := make([]byte, quickstore.OIDSize)
+		quickstore.EncodeOID(ref, target)
+		tx.Write(holder, 0, ref)
+
+		// Follow the reference.
+		stored, _ := tx.ReadObject(holder)
+		data, _ := tx.ReadObject(quickstore.DecodeOID(stored))
+		fmt.Printf("%s\n", data)
+		return nil
+	})
+	// Output: hello
+}

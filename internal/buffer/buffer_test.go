@@ -1,0 +1,189 @@
+package buffer
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/page"
+)
+
+func TestInsertGetRoundTrip(t *testing.T) {
+	p := NewPool(4)
+	data := bytes.Repeat([]byte{9}, page.Size)
+	f, err := p.Insert(1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Bytes(), data) {
+		t.Fatal("frame contents differ")
+	}
+	if g := p.Get(1); g != f {
+		t.Fatal("Get returned a different frame")
+	}
+	if p.Get(2) != nil {
+		t.Fatal("Get of absent page returned a frame")
+	}
+	if p.Hits() != 1 || p.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", p.Hits(), p.Misses())
+	}
+}
+
+func TestInsertCopies(t *testing.T) {
+	p := NewPool(2)
+	data := make([]byte, page.Size)
+	f, _ := p.Insert(1, data)
+	data[0] = 42
+	if f.Bytes()[0] != 0 {
+		t.Fatal("frame aliases caller buffer")
+	}
+}
+
+func TestDuplicateInsertFails(t *testing.T) {
+	p := NewPool(2)
+	p.Insert(1, nil)
+	if _, err := p.Insert(1, nil); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+}
+
+func TestLRUVictimOrder(t *testing.T) {
+	p := NewPool(3)
+	p.Insert(1, nil)
+	p.Insert(2, nil)
+	p.Insert(3, nil)
+	// Touch 1 so 2 becomes LRU.
+	p.Get(1)
+	v := p.Victim()
+	if v == nil || v.PID() != 2 {
+		t.Fatalf("victim = %v, want P2", v)
+	}
+	if err := p.Remove(v.PID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert(4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestFullPoolRejectsInsert(t *testing.T) {
+	p := NewPool(1)
+	p.Insert(1, nil)
+	if _, err := p.Insert(2, nil); !errors.Is(err, ErrNoFrame) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPinBlocksEviction(t *testing.T) {
+	p := NewPool(2)
+	p.Insert(1, nil)
+	p.Insert(2, nil)
+	if err := p.Pin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove(1); !errors.Is(err, ErrPinned) {
+		t.Fatalf("Remove of pinned page: %v", err)
+	}
+	if v := p.Victim(); v == nil || v.PID() != 1+1 {
+		t.Fatalf("victim should skip pinned page, got %v", v)
+	}
+	p.Pin(2)
+	if p.Victim() != nil {
+		t.Fatal("victim found with all pages pinned")
+	}
+	p.Unpin(1)
+	if v := p.Victim(); v == nil || v.PID() != 1 {
+		t.Fatal("unpinned page not evictable")
+	}
+}
+
+func TestNestedPins(t *testing.T) {
+	p := NewPool(1)
+	p.Insert(1, nil)
+	p.Pin(1)
+	p.Pin(1)
+	p.Unpin(1)
+	if p.Victim() != nil {
+		t.Fatal("page evictable with outstanding pin")
+	}
+	p.Unpin(1)
+	if p.Victim() == nil {
+		t.Fatal("page not evictable after final unpin")
+	}
+	if err := p.Unpin(1); err == nil {
+		t.Fatal("unbalanced unpin succeeded")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	p := NewPool(3)
+	p.Insert(1, nil)
+	p.Insert(2, nil)
+	p.MarkDirty(1)
+	d := p.DirtyPages()
+	if len(d) != 1 || d[0] != 1 {
+		t.Fatalf("DirtyPages = %v", d)
+	}
+	if !p.Peek(1).Dirty() {
+		t.Fatal("frame not dirty")
+	}
+	p.MarkClean(1)
+	if len(p.DirtyPages()) != 0 {
+		t.Fatal("MarkClean did not clear")
+	}
+	if err := p.MarkDirty(99); !errors.Is(err, ErrAbsent) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClearDropsEverything(t *testing.T) {
+	p := NewPool(3)
+	p.Insert(1, nil)
+	p.Insert(2, nil)
+	p.Pin(2)
+	p.Clear()
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d after Clear", p.Len())
+	}
+	if _, err := p.Insert(1, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEachVisitsAll(t *testing.T) {
+	p := NewPool(5)
+	for i := 1; i <= 4; i++ {
+		p.Insert(page.ID(i), nil)
+	}
+	seen := map[page.ID]bool{}
+	p.Each(func(f *Frame) { seen[f.PID()] = true })
+	if len(seen) != 4 {
+		t.Fatalf("Each visited %d frames", len(seen))
+	}
+}
+
+func TestScanResistanceNotRequired_CyclicEviction(t *testing.T) {
+	// Under a cyclic access pattern larger than the pool, plain LRU evicts
+	// everything (this is the paper's big-database thrashing behaviour).
+	p := NewPool(4)
+	for i := 1; i <= 8; i++ {
+		if p.Full() {
+			v := p.Victim()
+			p.Remove(v.PID())
+		}
+		p.Insert(page.ID(i), nil)
+	}
+	for i := 1; i <= 4; i++ {
+		if p.Peek(page.ID(i)) != nil {
+			t.Fatalf("old page P%d survived cyclic fill", i)
+		}
+	}
+	for i := 5; i <= 8; i++ {
+		if p.Peek(page.ID(i)) == nil {
+			t.Fatalf("recent page P%d evicted", i)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package client
+
+import (
+	"testing"
+
+	"repro/internal/page"
+)
+
+// TestAdaptiveSplitGrowsRecoveryBufferUnderSpills drives a spill-heavy
+// workload and checks that memory shifts from the pool to the recovery
+// buffer while the total budget stays constant.
+func TestAdaptiveSplitGrowsRecoveryBufferUnderSpills(t *testing.T) {
+	v := versions[0]              // PD-ESM
+	r := newRig(v, 64, page.Size) // tiny recovery buffer: constant spills
+	r.cli.cfg.AdaptiveRecoveryBuffer = true
+
+	tx := mustBegin(t, r.cli)
+	var oids []page.OID
+	for i := 0; i < 16; i++ {
+		if _, err := tx.NewPage(); err != nil {
+			t.Fatal(err)
+		}
+		oid, err := tx.Allocate(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	budget := r.cli.pool.Capacity()*page.Size + r.cli.rb.Cap()
+	recBefore := r.cli.RecoveryBufferBytes()
+
+	for round := 0; round < 12; round++ {
+		tx := mustBegin(t, r.cli)
+		for i, oid := range oids {
+			if err := tx.Write(oid, 0, []byte{byte(round), byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recAfter := r.cli.RecoveryBufferBytes()
+	if recAfter <= recBefore {
+		t.Fatalf("recovery buffer did not grow: %d -> %d", recBefore, recAfter)
+	}
+	if got := r.cli.pool.Capacity()*page.Size + r.cli.rb.Cap(); got != budget {
+		t.Fatalf("memory budget changed: %d -> %d", budget, got)
+	}
+	// Correctness maintained.
+	r.srv.Crash()
+	if err := r.srv.NewSession(nil, nil).Restart(); err != nil {
+		t.Fatal(err)
+	}
+	r.reconnect(v)
+	vtx := mustBegin(t, r.cli)
+	for i, oid := range oids {
+		got := make([]byte, 2)
+		if err := vtx.Read(oid, 0, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 11 || got[1] != byte(i) {
+			t.Fatalf("object %d: %v", i, got)
+		}
+	}
+}
+
+// TestAdaptiveSplitShrinksRecoveryBufferUnderPaging drives an eviction-heavy
+// read-mostly workload and checks that memory shifts toward the pool.
+func TestAdaptiveSplitShrinksRecoveryBufferUnderPaging(t *testing.T) {
+	v := versions[0]
+	r := newRig(v, 8, 64*page.Size) // tiny pool, large recovery buffer
+	r.cli.cfg.AdaptiveRecoveryBuffer = true
+
+	tx := mustBegin(t, r.cli)
+	var oids []page.OID
+	for i := 0; i < 40; i++ {
+		if _, err := tx.NewPage(); err != nil {
+			t.Fatal(err)
+		}
+		oid, err := tx.Allocate(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	poolBefore := r.cli.pool.Capacity()
+
+	for round := 0; round < 12; round++ {
+		tx := mustBegin(t, r.cli)
+		for _, oid := range oids {
+			buf := make([]byte, 1)
+			if err := tx.Read(oid, 0, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// One small write so the transaction isn't read-only.
+		if err := tx.Write(oids[round%len(oids)], 0, []byte{byte(round)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.cli.pool.Capacity(); got <= poolBefore {
+		t.Fatalf("pool did not grow: %d -> %d", poolBefore, got)
+	}
+}
+
+// TestAdaptiveOffByDefault guards the default behaviour.
+func TestAdaptiveOffByDefault(t *testing.T) {
+	r := newRig(versions[0], 64, page.Size)
+	tx := mustBegin(t, r.cli)
+	var oids []page.OID
+	for i := 0; i < 8; i++ {
+		tx.NewPage()
+		oid, _ := tx.Allocate(8)
+		oids = append(oids, oid)
+	}
+	tx.Commit()
+	for round := 0; round < 5; round++ {
+		tx := mustBegin(t, r.cli)
+		for _, oid := range oids {
+			tx.Write(oid, 0, []byte{byte(round)})
+		}
+		tx.Commit()
+	}
+	if r.cli.RecoveryBufferBytes() != page.Size {
+		t.Fatalf("recovery buffer moved without the flag: %d", r.cli.RecoveryBufferBytes())
+	}
+}

@@ -1,0 +1,213 @@
+package client
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/page"
+)
+
+// TestStructuralChangeDiffFallback exercises the PD raw-diff path: an
+// allocation on an existing page changes the header and slot directory, so
+// the per-object diff gives way to a whole-page raw diff — which must still
+// recover correctly.
+func TestStructuralChangeDiffFallback(t *testing.T) {
+	for _, v := range versions {
+		t.Run(v.name, func(t *testing.T) {
+			r := newRig(v, 64, 1<<20)
+			// Transaction 1: one object on a page, committed.
+			tx := mustBegin(t, r.cli)
+			a, err := tx.Allocate(100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx.Write(a, 0, []byte("first object"))
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			// Transaction 2: allocate a second object on the SAME page
+			// (structural change) and update the first.
+			tx2 := mustBegin(t, r.cli)
+			b, err := tx2.Allocate(100) // allocPage still points at a's page
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Page != a.Page {
+				t.Fatalf("allocation moved pages: %v vs %v", a, b)
+			}
+			tx2.Write(b, 0, []byte("second object"))
+			tx2.Write(a, 0, []byte("FIRST object"))
+			if err := tx2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			// Transaction 3: free the first object (another structural
+			// change), commit, crash, verify.
+			tx3 := mustBegin(t, r.cli)
+			if err := tx3.Free(a); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx3.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			r.srv.Crash()
+			if err := r.srv.NewSession(nil, nil).Restart(); err != nil {
+				t.Fatal(err)
+			}
+			r.reconnect(v)
+			tx4 := mustBegin(t, r.cli)
+			got, err := tx4.ReadObject(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got[:13], []byte("second object")) {
+				t.Fatalf("b = %q", got[:13])
+			}
+			if _, err := tx4.ReadObject(a); err == nil {
+				t.Fatal("freed object resurrected by recovery")
+			}
+		})
+	}
+}
+
+// TestSDBlockSpillCorrectness drives the SD scheme with a one-page recovery
+// buffer so block sets spill mid-transaction, and verifies durability.
+func TestSDBlockSpillCorrectness(t *testing.T) {
+	v := versions[1] // SD-ESM
+	r := newRig(v, 64, page.Size)
+	tx := mustBegin(t, r.cli)
+	var oids []page.OID
+	for i := 0; i < 6; i++ {
+		if _, err := tx.NewPage(); err != nil {
+			t.Fatal(err)
+		}
+		// Large objects so touching them all overflows one page of blocks.
+		oid, err := tx.Allocate(4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := mustBegin(t, r.cli)
+	payload := bytes.Repeat([]byte{0xCD}, 4000)
+	for _, oid := range oids {
+		if err := tx2.Write(oid, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if r.cli.Stats().RecbufSpills == 0 {
+		t.Fatal("no block spills under a one-page recovery buffer")
+	}
+	r.srv.Crash()
+	if err := r.srv.NewSession(nil, nil).Restart(); err != nil {
+		t.Fatal(err)
+	}
+	r.reconnect(v)
+	tx3 := mustBegin(t, r.cli)
+	for i, oid := range oids {
+		got, err := tx3.ReadObject(oid)
+		if err != nil {
+			t.Fatalf("object %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("object %d corrupted after spill+crash", i)
+		}
+	}
+}
+
+// TestLogRecordBatchingAcrossPages checks that a commit touching many pages
+// ships log records packed into full log pages rather than one ship per
+// page.
+func TestLogRecordBatchingAcrossPages(t *testing.T) {
+	r := newRig(versions[0], 128, 2<<20) // PD-ESM, roomy recovery buffer
+	tx := mustBegin(t, r.cli)
+	var oids []page.OID
+	for i := 0; i < 50; i++ {
+		tx.NewPage()
+		oid, _ := tx.Allocate(64)
+		oids = append(oids, oid)
+	}
+	tx.Commit()
+	tx2 := mustBegin(t, r.cli)
+	for _, oid := range oids {
+		tx2.Write(oid, 0, []byte{1, 2, 3, 4})
+	}
+	before := r.cli.Stats()
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after := r.cli.Stats()
+	ships := after.LogPagesShipped - before.LogPagesShipped
+	// 50 small records (~70 bytes each) fit in one 8 KB log page.
+	if ships != 1 {
+		t.Fatalf("%d log pages shipped for 50 small records, want 1", ships)
+	}
+}
+
+// TestWriteSpanningBlocks checks SD copies every block a write overlaps.
+func TestWriteSpanningBlocks(t *testing.T) {
+	r := newRig(versions[1], 64, 1<<20) // SD
+	tx := mustBegin(t, r.cli)
+	oid, _ := tx.Allocate(512)
+	tx.Commit()
+	tx2 := mustBegin(t, r.cli)
+	// A 200-byte write spans 3-4 64-byte blocks.
+	data := bytes.Repeat([]byte{7}, 200)
+	if err := tx2.Write(oid, 30, data); err != nil {
+		t.Fatal(err)
+	}
+	copies := r.cli.Stats().BlockCopies
+	if copies < 4 || copies > 5 {
+		t.Fatalf("block copies = %d for a 200-byte write at offset 30", copies)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx3 := mustBegin(t, r.cli)
+	got, _ := tx3.ReadObject(oid)
+	if !bytes.Equal(got[30:230], data) {
+		t.Fatal("spanning write lost data")
+	}
+	for _, b := range got[:30] {
+		if b != 0 {
+			t.Fatal("bytes before the write were disturbed")
+		}
+	}
+}
+
+// TestAbortDiscardsFreshPages ensures pages created by an aborted
+// transaction do not leak into the next transaction's allocation target.
+func TestAbortDiscardsFreshPages(t *testing.T) {
+	r := newRig(versions[0], 64, 1<<20)
+	tx := mustBegin(t, r.cli)
+	oid, _ := tx.Allocate(8)
+	tx.Write(oid, 0, []byte("aborted!"))
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// The aborted OID must not be readable.
+	tx2 := mustBegin(t, r.cli)
+	if _, err := tx2.ReadObject(oid); err == nil {
+		// The page may exist server-side as an orphan, but the object was
+		// never committed; either an error or an all-zero read of a fresh
+		// page is acceptable — what is NOT acceptable is seeing the data.
+		got, _ := tx2.ReadObject(oid)
+		if bytes.Equal(got, []byte("aborted!")) {
+			t.Fatal("aborted write visible")
+		}
+	}
+	// New allocations work fine.
+	oid2, err := tx2.Allocate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2.Write(oid2, 0, []byte("durable!"))
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

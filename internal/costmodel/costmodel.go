@@ -1,0 +1,329 @@
+// Package costmodel captures the performance characteristics of the paper's
+// testbed (§4.4): a Sun IPX server with separate raw data (Sun1.3G) and log
+// (Sun0424) disks, five 20 MIPS SPARC ELC client workstations with 24 MB of
+// memory, and an isolated 10 Mbit Ethernet.
+//
+// The engine reports its work to a Meter; in real executions the meter is a
+// no-op, while in simulated performance runs (internal/harness) the meter
+// charges service times from Params to the queueing resources of a
+// discrete-event simulation. Absolute values are calibrated so that
+// single-client OO7 response times land in the paper's range; the shapes of
+// the multi-client results come from the resource ratios, not the absolute
+// numbers. EXPERIMENTS.md records the calibration.
+package costmodel
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Params holds every service-time constant used by the simulation.
+type Params struct {
+	// Network: one message costs Fixed + PerByte*len on the shared Ethernet
+	// segment, plus per-message protocol CPU at the sender and receiver.
+	NetFixed    time.Duration // media access + latency per message
+	NetPerByte  time.Duration // wire time per byte (10 Mbit/s effective)
+	NetCPUSend  time.Duration // protocol stack cost at the sending CPU
+	NetCPURecv  time.Duration // protocol stack cost at the receiving CPU
+	NetCPUPerKB time.Duration // copy cost per KB at each end
+
+	// Disks. The data disk sees random page reads and background installs;
+	// the log disk sees sequential page writes (and reads during WPL
+	// reclaim/restart).
+	DataDiskRead  time.Duration // random 8 KB page read
+	DataDiskWrite time.Duration // 8 KB page write (install, lazy flush)
+	LogDiskWrite  time.Duration // sequential 8 KB log page write
+	LogDiskRead   time.Duration // 8 KB log page read (WPL reclaim)
+
+	// Client CPU costs for the recovery machinery (§3).
+	Fault       time.Duration // protection fault + AVL descriptor lookup + mprotect
+	CopyPage    time.Duration // copy 8 KB into the recovery buffer
+	DiffPage    time.Duration // diff 8 KB before/after images
+	CopyBlock   time.Duration // copy one sub-page block (SD/SL)
+	DiffBlock   time.Duration // diff one sub-page block
+	UpdateCall  time.Duration // software update-function overhead per update (SD/SL)
+	LogRecCPU   time.Duration // build + marshal one log record
+	Deref       time.Duration // object dereference (descriptor check) on a cached page
+	VisitCPU    time.Duration // application CPU per object visit in a traversal
+	ServerPage  time.Duration // server CPU to process one shipped/served page
+	ServerApply time.Duration // server CPU to apply one log record (REDO)
+	LockReqCPU  time.Duration // server CPU per lock/unlock request
+}
+
+// Default1995 returns parameters calibrated to the paper's testbed.
+func Default1995() *Params {
+	return &Params{
+		NetFixed:    500 * time.Microsecond,
+		NetPerByte:  650 * time.Nanosecond, // ~1.25 MB/s effective on 10 Mbit Ethernet
+		NetCPUSend:  300 * time.Microsecond,
+		NetCPURecv:  300 * time.Microsecond,
+		NetCPUPerKB: 60 * time.Microsecond,
+
+		DataDiskRead:  20 * time.Millisecond,
+		DataDiskWrite: 8 * time.Millisecond,  // write-behind, head-scheduled
+		LogDiskWrite:  18 * time.Millisecond, // 3600 rpm Sun0424, forced sequential
+		LogDiskRead:   16 * time.Millisecond,
+
+		Fault:       500 * time.Microsecond,
+		CopyPage:    700 * time.Microsecond,
+		DiffPage:    1800 * time.Microsecond,
+		CopyBlock:   6 * time.Microsecond,
+		DiffBlock:   5 * time.Microsecond,
+		UpdateCall:  25 * time.Microsecond,
+		LogRecCPU:   30 * time.Microsecond,
+		Deref:       0,
+		VisitCPU:    25 * time.Microsecond,
+		ServerPage:  700 * time.Microsecond,
+		ServerApply: 300 * time.Microsecond,
+		LockReqCPU:  1200 * time.Microsecond,
+	}
+}
+
+// NetMsgTime returns the wire occupancy of one message of n bytes.
+func (p *Params) NetMsgTime(n int) time.Duration {
+	return p.NetFixed + time.Duration(n)*p.NetPerByte
+}
+
+// NetCPUTime returns the per-end protocol CPU cost of a message of n bytes.
+func (p *Params) netCPUTime(base time.Duration, n int) time.Duration {
+	return base + time.Duration(n/1024)*p.NetCPUPerKB
+}
+
+// Meter is the sink for simulated work. Engine code reports what it does;
+// the meter decides what it costs. Client-side methods charge the client's
+// CPU; server-side methods charge the shared server resources. Msg charges a
+// network round-trip leg (sender CPU, wire, receiver CPU).
+type Meter interface {
+	// ClientCompute burns d on the calling client's CPU.
+	ClientCompute(d time.Duration)
+	// ServerCompute burns d on the server CPU.
+	ServerCompute(d time.Duration)
+	// MsgToServer models a client→server message of n bytes.
+	MsgToServer(n int)
+	// MsgToClient models a server→client message of n bytes.
+	MsgToClient(n int)
+	// DataRead blocks for n random data-disk page reads.
+	DataRead(pages int)
+	// DataWriteAsync schedules n background data-disk page writes.
+	DataWriteAsync(pages int)
+	// LogWrite forces the log: it blocks for n sequential log-disk page
+	// writes and then waits for every asynchronous log write issued earlier
+	// to complete (write-ahead durability barrier). n may be zero.
+	LogWrite(pages int)
+	// LogWriteAsync schedules n log-disk page writes without blocking; a
+	// later LogWrite (the commit force) queues behind them.
+	LogWriteAsync(pages int)
+	// LogRead blocks for n log-disk page reads.
+	LogRead(pages int)
+	// LogReadAsync schedules n background log-disk page reads (WPL reclaim).
+	LogReadAsync(pages int)
+}
+
+// NopMeter is the Meter used by real (non-simulated) executions.
+type NopMeter struct{}
+
+// ClientCompute implements Meter.
+func (NopMeter) ClientCompute(time.Duration) {}
+
+// ServerCompute implements Meter.
+func (NopMeter) ServerCompute(time.Duration) {}
+
+// MsgToServer implements Meter.
+func (NopMeter) MsgToServer(int) {}
+
+// MsgToClient implements Meter.
+func (NopMeter) MsgToClient(int) {}
+
+// DataRead implements Meter.
+func (NopMeter) DataRead(int) {}
+
+// DataWriteAsync implements Meter.
+func (NopMeter) DataWriteAsync(int) {}
+
+// LogWrite implements Meter.
+func (NopMeter) LogWrite(int) {}
+
+// LogWriteAsync implements Meter.
+func (NopMeter) LogWriteAsync(int) {}
+
+// LogRead implements Meter.
+func (NopMeter) LogRead(int) {}
+
+// LogReadAsync implements Meter.
+func (NopMeter) LogReadAsync(int) {}
+
+// Testbed is the simulated hardware: the shared resources plus one CPU per
+// client workstation.
+type Testbed struct {
+	K         *sim.Kernel
+	P         *Params
+	Net       *sim.Resource
+	ServerCPU *sim.Resource
+	DataDisk  *sim.Resource
+	LogDisk   *sim.Resource
+}
+
+// NewTestbed builds the simulated hardware on k.
+func NewTestbed(k *sim.Kernel, p *Params) *Testbed {
+	return &Testbed{
+		K:         k,
+		P:         p,
+		Net:       k.NewResource("ethernet"),
+		ServerCPU: k.NewResource("server-cpu"),
+		DataDisk:  k.NewResource("data-disk"),
+		LogDisk:   k.NewResource("log-disk"),
+	}
+}
+
+// SimMeter charges a specific client process; create one per client with
+// Testbed.Meter.
+//
+// Two forms of laziness keep the simulation both fast and deadlock-free:
+//
+//   - Client CPU time is accumulated and charged in one block at the next
+//     synchronization point. The client CPU is private, so coalescing is
+//     exact and avoids a kernel round-trip per charge (a traversal reports
+//     hundreds of thousands of object visits).
+//   - Blocking charges against shared resources (server CPU, disks) are
+//     queued and drained at the next message boundary or Flush. The server
+//     issues these while holding its real mutex; parking the goroutine in
+//     the simulation kernel at that point would block every other simulated
+//     client on the mutex. Draining at the message boundary applies the same
+//     total service demand at the same process time, outside the critical
+//     section.
+//
+// Asynchronous reservations (background installs, lazy flushes) never park
+// the goroutine, so they are applied immediately.
+type SimMeter struct {
+	tb      *Testbed
+	proc    *sim.Proc
+	cpu     *sim.Resource // this client's CPU
+	pending time.Duration
+	queue   []deferredOp
+}
+
+type deferredKind uint8
+
+const (
+	opServerCPU deferredKind = iota
+	opDataRead
+	opLogWrite
+	opLogRead
+)
+
+// opLogWrite entries always end with a barrier: the force returns only when
+// the log disk has completed everything issued so far.
+
+type deferredOp struct {
+	kind  deferredKind
+	pages int
+	d     time.Duration
+}
+
+// Meter returns a Meter that charges work performed by proc, whose
+// workstation CPU is cpu.
+func (tb *Testbed) Meter(proc *sim.Proc, cpu *sim.Resource) *SimMeter {
+	return &SimMeter{tb: tb, proc: proc, cpu: cpu}
+}
+
+// ClientCompute implements Meter.
+func (m *SimMeter) ClientCompute(d time.Duration) { m.pending += d }
+
+// Flush applies all accumulated charges: private CPU first, then the queued
+// shared-resource operations in order. Call before reading the simulation
+// clock as a response-time stamp.
+func (m *SimMeter) Flush() {
+	if m.pending > 0 {
+		m.cpu.Use(m.proc, m.pending)
+		m.pending = 0
+	}
+	for _, op := range m.queue {
+		switch op.kind {
+		case opServerCPU:
+			m.tb.ServerCPU.Use(m.proc, op.d)
+		case opDataRead:
+			for i := 0; i < op.pages; i++ {
+				m.tb.DataDisk.Use(m.proc, m.tb.P.DataDiskRead)
+			}
+		case opLogWrite:
+			for i := 0; i < op.pages; i++ {
+				m.tb.LogDisk.Use(m.proc, m.tb.P.LogDiskWrite)
+			}
+			m.tb.LogDisk.Sync(m.proc)
+		case opLogRead:
+			for i := 0; i < op.pages; i++ {
+				m.tb.LogDisk.Use(m.proc, m.tb.P.LogDiskRead)
+			}
+		}
+	}
+	m.queue = m.queue[:0]
+}
+
+// ServerCompute implements Meter.
+func (m *SimMeter) ServerCompute(d time.Duration) {
+	m.queue = append(m.queue, deferredOp{kind: opServerCPU, d: d})
+}
+
+// MsgToServer implements Meter.
+func (m *SimMeter) MsgToServer(n int) {
+	p := m.tb.P
+	m.pending += p.netCPUTime(p.NetCPUSend, n)
+	m.Flush()
+	m.tb.Net.Use(m.proc, p.NetMsgTime(n))
+	m.tb.ServerCPU.Use(m.proc, p.netCPUTime(p.NetCPURecv, n))
+}
+
+// MsgToClient implements Meter.
+func (m *SimMeter) MsgToClient(n int) {
+	p := m.tb.P
+	m.Flush()
+	m.tb.ServerCPU.Use(m.proc, p.netCPUTime(p.NetCPUSend, n))
+	m.tb.Net.Use(m.proc, p.NetMsgTime(n))
+	m.cpu.Use(m.proc, p.netCPUTime(p.NetCPURecv, n))
+}
+
+// DataRead implements Meter.
+func (m *SimMeter) DataRead(pages int) {
+	if pages > 0 {
+		m.queue = append(m.queue, deferredOp{kind: opDataRead, pages: pages})
+	}
+}
+
+// DataWriteAsync implements Meter.
+func (m *SimMeter) DataWriteAsync(pages int) {
+	for i := 0; i < pages; i++ {
+		m.tb.DataDisk.Reserve(m.proc, m.tb.P.DataDiskWrite)
+	}
+}
+
+// LogWrite implements Meter.
+func (m *SimMeter) LogWrite(pages int) {
+	m.queue = append(m.queue, deferredOp{kind: opLogWrite, pages: pages})
+}
+
+// LogWriteAsync implements Meter.
+func (m *SimMeter) LogWriteAsync(pages int) {
+	for i := 0; i < pages; i++ {
+		m.tb.LogDisk.Reserve(m.proc, m.tb.P.LogDiskWrite)
+	}
+}
+
+// LogRead implements Meter.
+func (m *SimMeter) LogRead(pages int) {
+	if pages > 0 {
+		m.queue = append(m.queue, deferredOp{kind: opLogRead, pages: pages})
+	}
+}
+
+// LogReadAsync implements Meter.
+func (m *SimMeter) LogReadAsync(pages int) {
+	for i := 0; i < pages; i++ {
+		m.tb.LogDisk.Reserve(m.proc, m.tb.P.LogDiskRead)
+	}
+}
+
+var (
+	_ Meter = NopMeter{}
+	_ Meter = (*SimMeter)(nil)
+)

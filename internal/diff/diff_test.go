@@ -1,0 +1,242 @@
+package diff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mutate(b []byte, regions ...Region) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	for _, r := range regions {
+		for i := r.Off; i < r.End(); i++ {
+			out[i] ^= 0xff
+		}
+	}
+	return out
+}
+
+func TestNoChange(t *testing.T) {
+	b := make([]byte, 100)
+	if got := Regions(b, b); got != nil {
+		t.Fatalf("Regions of equal images = %v", got)
+	}
+	if Changed(b, b) {
+		t.Fatal("Changed of equal images")
+	}
+}
+
+func TestSingleRegion(t *testing.T) {
+	before := make([]byte, 100)
+	after := mutate(before, Region{10, 5})
+	got := Regions(before, after)
+	if len(got) != 1 || got[0] != (Region{10, 5}) {
+		t.Fatalf("got %v", got)
+	}
+	if !Changed(before, after) {
+		t.Fatal("Changed missed the update")
+	}
+}
+
+// The paper's worked example: words 1 and 3 of an object updated (1 word =
+// 4 bytes). One combined record costs 50+2*12 = 74 bytes; two separate
+// records cost 2*(50+2*4) = 116. The gap is 4, 2*4 <= 50, so they combine.
+func TestPaperExampleCombines(t *testing.T) {
+	before := make([]byte, 16)
+	after := mutate(before, Region{0, 4}, Region{8, 4})
+	got := Regions(before, after)
+	if len(got) != 1 || got[0] != (Region{0, 12}) {
+		t.Fatalf("got %v, want one combined region [0,12)", got)
+	}
+	if lb := LogBytes(got, HeaderSize); lb != 74 {
+		t.Fatalf("combined log bytes = %d, want 74", lb)
+	}
+	raw := RawRegions(before, after)
+	if lb := LogBytes(raw, HeaderSize); lb != 116 {
+		t.Fatalf("raw log bytes = %d, want 116", lb)
+	}
+}
+
+func TestLargeGapStaysSeparate(t *testing.T) {
+	before := make([]byte, 200)
+	// Gap of 100: 2*100 > 50, so separate records win.
+	after := mutate(before, Region{0, 4}, Region{104, 4})
+	got := Regions(before, after)
+	if len(got) != 2 {
+		t.Fatalf("got %v, want 2 regions", got)
+	}
+	if got[0] != (Region{0, 4}) || got[1] != (Region{104, 4}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBoundaryGap(t *testing.T) {
+	// 2*gap == H exactly: the paper logs separately only when 2*D > H, so
+	// an exact tie combines.
+	h := 10
+	before := make([]byte, 40)
+	after := mutate(before, Region{0, 2}, Region{7, 2}) // gap 5, 2*5 == 10
+	got := RegionsH(before, after, h)
+	if len(got) != 1 {
+		t.Fatalf("tie gap should combine: %v", got)
+	}
+	after = mutate(before, Region{0, 2}, Region{8, 2}) // gap 6, 2*6 > 10
+	got = RegionsH(before, after, h)
+	if len(got) != 2 {
+		t.Fatalf("gap over threshold should split: %v", got)
+	}
+}
+
+func TestThreeRegionChain(t *testing.T) {
+	// R1 and R2 close (combine), R3 far (separate) — the paper's Figure 2.
+	before := make([]byte, 300)
+	after := mutate(before, Region{0, 8}, Region{16, 8}, Region{200, 8})
+	got := Regions(before, after)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0] != (Region{0, 24}) || got[1] != (Region{200, 8}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEdgesOfObject(t *testing.T) {
+	before := make([]byte, 10)
+	after := mutate(before, Region{0, 1}, Region{9, 1})
+	got := Regions(before, after)
+	// Gap 8, 2*8 <= 50 → combined into the whole object.
+	if len(got) != 1 || got[0] != (Region{0, 10}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Regions(make([]byte, 3), make([]byte, 4))
+}
+
+// applyRegions checks that copying the after-image bytes of each region onto
+// the before-image reconstructs the after-image (redo correctness), and vice
+// versa (undo correctness).
+func TestRegionsCoverAllChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(512)
+		before := make([]byte, n)
+		rng.Read(before)
+		after := make([]byte, n)
+		copy(after, before)
+		for k := rng.Intn(8); k > 0; k-- {
+			off := rng.Intn(n)
+			l := 1 + rng.Intn(n-off)
+			for i := off; i < off+l; i++ {
+				after[i] = byte(rng.Intn(256))
+			}
+		}
+		regions := Regions(before, after)
+		redo := make([]byte, n)
+		copy(redo, before)
+		undo := make([]byte, n)
+		copy(undo, after)
+		for _, r := range regions {
+			copy(redo[r.Off:r.End()], after[r.Off:r.End()])
+			copy(undo[r.Off:r.End()], before[r.Off:r.End()])
+		}
+		for i := 0; i < n; i++ {
+			if redo[i] != after[i] {
+				t.Fatalf("trial %d: redo misses byte %d", trial, i)
+			}
+			if undo[i] != before[i] {
+				t.Fatalf("trial %d: undo misses byte %d", trial, i)
+			}
+		}
+	}
+}
+
+// minLogBytes exhaustively partitions the raw regions into consecutive
+// groups and returns the minimum log traffic achievable.
+func minLogBytes(raw []Region, h int) int {
+	if len(raw) == 0 {
+		return 0
+	}
+	// dp[i] = min bytes to log raw[0:i].
+	dp := make([]int, len(raw)+1)
+	for i := 1; i <= len(raw); i++ {
+		best := -1
+		for j := 0; j < i; j++ {
+			// One record covering raw[j:i].
+			span := raw[i-1].End() - raw[j].Off
+			cost := dp[j] + h + 2*span
+			if best < 0 || cost < best {
+				best = cost
+			}
+		}
+		dp[i] = best
+	}
+	return dp[len(raw)]
+}
+
+// Property (paper §3.2.2): the greedy combining rule generates the minimum
+// amount of log traffic over all ways of grouping consecutive regions.
+func TestGreedyIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(256)
+		before := make([]byte, n)
+		rng.Read(before)
+		after := make([]byte, n)
+		copy(after, before)
+		for k := rng.Intn(6); k > 0; k-- {
+			off := rng.Intn(n)
+			l := 1 + rng.Intn(min(16, n-off))
+			for i := off; i < off+l; i++ {
+				after[i] ^= 0x5a
+			}
+		}
+		h := 1 + rng.Intn(100)
+		greedy := LogBytes(RegionsH(before, after, h), h)
+		opt := minLogBytes(RawRegions(before, after), h)
+		if greedy != opt {
+			t.Fatalf("trial %d (h=%d): greedy=%d optimal=%d", trial, h, greedy, opt)
+		}
+	}
+}
+
+func TestRegionsQuickRoundTrip(t *testing.T) {
+	f := func(before []byte, seed int64) bool {
+		after := make([]byte, len(before))
+		copy(after, before)
+		rng := rand.New(rand.NewSource(seed))
+		for i := range after {
+			if rng.Intn(4) == 0 {
+				after[i] ^= byte(1 + rng.Intn(255))
+			}
+		}
+		redo := make([]byte, len(before))
+		copy(redo, before)
+		for _, r := range Regions(before, after) {
+			copy(redo[r.Off:r.End()], after[r.Off:r.End()])
+		}
+		for i := range redo {
+			if redo[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

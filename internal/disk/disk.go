@@ -1,0 +1,153 @@
+// Package disk provides stable page storage for the server's database
+// volume. Two implementations are provided: an in-memory store used by tests
+// and simulations, and a file-backed store used by the standalone server.
+// Contents survive a simulated crash (only buffer pools and other volatile
+// state are lost); the file store additionally survives process restarts.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/page"
+)
+
+// ErrNotFound is returned when reading a page that was never written.
+var ErrNotFound = errors.New("disk: page not found")
+
+// Store is stable storage for fixed-size pages.
+type Store interface {
+	// ReadPage copies the stored page into buf, which must be page.Size long.
+	ReadPage(id page.ID, buf []byte) error
+	// WritePage durably stores data, which must be page.Size long.
+	WritePage(id page.ID, data []byte) error
+	// Pages returns the number of distinct pages ever written.
+	Pages() int
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore is an in-memory Store.
+type MemStore struct {
+	mu    sync.RWMutex
+	pages map[page.ID][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{pages: make(map[page.ID][]byte)}
+}
+
+// ReadPage implements Store.
+func (s *MemStore) ReadPage(id page.ID, buf []byte) error {
+	if len(buf) != page.Size {
+		return fmt.Errorf("disk: read buffer is %d bytes, want %d", len(buf), page.Size)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.pages[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	copy(buf, data)
+	return nil
+}
+
+// WritePage implements Store.
+func (s *MemStore) WritePage(id page.ID, data []byte) error {
+	if len(data) != page.Size {
+		return fmt.Errorf("disk: write buffer is %d bytes, want %d", len(data), page.Size)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst, ok := s.pages[id]
+	if !ok {
+		dst = make([]byte, page.Size)
+		s.pages[id] = dst
+	}
+	copy(dst, data)
+	return nil
+}
+
+// Pages implements Store.
+func (s *MemStore) Pages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore is a Store backed by a single flat file; page id n lives at byte
+// offset n*page.Size. A bitmap of written pages is kept in memory and
+// rebuilt lazily: reading an all-zero, never-written page returns
+// ErrNotFound only for offsets beyond the file end.
+type FileStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64 // file length in bytes
+}
+
+// OpenFileStore opens or creates the volume file at path.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileStore{f: f, size: st.Size()}, nil
+}
+
+// ReadPage implements Store.
+func (s *FileStore) ReadPage(id page.ID, buf []byte) error {
+	if len(buf) != page.Size {
+		return fmt.Errorf("disk: read buffer is %d bytes, want %d", len(buf), page.Size)
+	}
+	off := int64(id) * page.Size
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off+page.Size > s.size {
+		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	_, err := s.f.ReadAt(buf, off)
+	return err
+}
+
+// WritePage implements Store.
+func (s *FileStore) WritePage(id page.ID, data []byte) error {
+	if len(data) != page.Size {
+		return fmt.Errorf("disk: write buffer is %d bytes, want %d", len(data), page.Size)
+	}
+	off := int64(id) * page.Size
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.WriteAt(data, off); err != nil {
+		return err
+	}
+	if off+page.Size > s.size {
+		s.size = off + page.Size
+	}
+	return nil
+}
+
+// Pages implements Store.
+func (s *FileStore) Pages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.size / page.Size)
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+var (
+	_ Store = (*MemStore)(nil)
+	_ Store = (*FileStore)(nil)
+)

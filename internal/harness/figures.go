@@ -1,0 +1,299 @@
+package harness
+
+// The per-figure experiment index (DESIGN.md §4). Figures sharing a run
+// (response time and throughput of the same sweep) share a cached group.
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/disk"
+	"repro/internal/oo7"
+	"repro/internal/page"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// The paper's client memory splits (§5.1–§5.3).
+
+// unconstrainedSystems: 12 MB per client; diffing systems split 8 MB pool +
+// 4 MB recovery buffer; WPL devotes everything to the pool.
+func unconstrainedSystems(withSL bool) []SystemSpec {
+	s := []SystemSpec{
+		{Name: "WPL", Scheme: client.WPL, Mode: server.ModeWPL, PoolMB: 12},
+		{Name: "PD-ESM", Scheme: client.PD, Mode: server.ModeESM, PoolMB: 8, RecMB: 4},
+		{Name: "SD-ESM", Scheme: client.SD, Mode: server.ModeESM, PoolMB: 8, RecMB: 4},
+		{Name: "PD-REDO", Scheme: client.PD, Mode: server.ModeREDO, PoolMB: 8, RecMB: 4},
+	}
+	if withSL {
+		s = append(s, SystemSpec{Name: "SL-ESM", Scheme: client.SL, Mode: server.ModeESM, PoolMB: 8, RecMB: 4})
+	}
+	return s
+}
+
+// constrainedSystems: 8 MB per client; diffing systems split 7.5 + 0.5.
+func constrainedSystems() []SystemSpec {
+	return []SystemSpec{
+		{Name: "WPL", Scheme: client.WPL, Mode: server.ModeWPL, PoolMB: 8},
+		{Name: "PD-ESM", Scheme: client.PD, Mode: server.ModeESM, PoolMB: 7.5, RecMB: 0.5},
+		{Name: "SD-ESM", Scheme: client.SD, Mode: server.ModeESM, PoolMB: 7.5, RecMB: 0.5},
+		{Name: "PD-REDO", Scheme: client.PD, Mode: server.ModeREDO, PoolMB: 7.5, RecMB: 0.5},
+	}
+}
+
+// bigSystems: 12 MB per client with both memory splits of §5.3.
+func bigSystems() []SystemSpec {
+	return []SystemSpec{
+		{Name: "PD-ESM-4", Scheme: client.PD, Mode: server.ModeESM, PoolMB: 8, RecMB: 4},
+		{Name: "PD-ESM-1/2", Scheme: client.PD, Mode: server.ModeESM, PoolMB: 11.5, RecMB: 0.5},
+		{Name: "SD-ESM-4", Scheme: client.SD, Mode: server.ModeESM, PoolMB: 8, RecMB: 4},
+		{Name: "WPL", Scheme: client.WPL, Mode: server.ModeWPL, PoolMB: 12},
+		{Name: "PD-REDO-4", Scheme: client.PD, Mode: server.ModeREDO, PoolMB: 8, RecMB: 4},
+	}
+}
+
+// group is a set of runs shared by several figures.
+type group struct {
+	traversal oo7.Traversal
+	db        func() oo7.Config
+	systems   []SystemSpec
+}
+
+var groups = map[string]group{
+	"small-uncon-T2A": {oo7.T2A, oo7.SmallConfig, unconstrainedSystems(false)},
+	"small-uncon-T2B": {oo7.T2B, oo7.SmallConfig, unconstrainedSystems(true)},
+	"small-uncon-T2C": {oo7.T2C, oo7.SmallConfig, unconstrainedSystems(true)},
+	"small-con-T2A":   {oo7.T2A, oo7.SmallConfig, constrainedSystems()},
+	"small-con-T2B":   {oo7.T2B, oo7.SmallConfig, constrainedSystems()},
+	"big-T2A":         {oo7.T2A, oo7.BigConfig, bigSystems()},
+	"big-T2B":         {oo7.T2B, oo7.BigConfig, bigSystems()},
+}
+
+// Runner executes figures, caching group results so paired figures (response
+// time + throughput) share one run.
+type Runner struct {
+	o     Options
+	cache map[string][]Cell
+}
+
+// NewRunner creates a runner with the given options.
+func NewRunner(o Options) *Runner {
+	return &Runner{o: o.withDefaults(), cache: make(map[string][]Cell)}
+}
+
+// Options returns the runner's (defaulted) options.
+func (r *Runner) Options() Options { return r.o }
+
+func (r *Runner) group(key string) ([]Cell, error) {
+	if cells, ok := r.cache[key]; ok {
+		return cells, nil
+	}
+	g, ok := groups[key]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown group %q", key)
+	}
+	var all []Cell
+	for _, spec := range g.systems {
+		cells, err := runSystem(spec, g.db(), g.traversal, r.o)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", key, spec.Name, err)
+		}
+		all = append(all, cells...)
+	}
+	r.cache[key] = all
+	return all, nil
+}
+
+func secs(c Cell) string { return fmt.Sprintf("%.1f", c.RespTime.Seconds()) }
+func tpm(c Cell) string  { return fmt.Sprintf("%.2f", c.TPM) }
+
+// figSpec maps a figure number to its group and metric.
+type figSpec struct {
+	title  string
+	group  string
+	metric func(Cell) string
+}
+
+var figSpecs = map[int]figSpec{
+	4:  {"Figure 4. T2A, small database — response time (s)", "small-uncon-T2A", secs},
+	5:  {"Figure 5. T2A, small database — throughput (trans/min)", "small-uncon-T2A", tpm},
+	6:  {"Figure 6. T2B, small database — response time (s)", "small-uncon-T2B", secs},
+	7:  {"Figure 7. T2B, small database — throughput (trans/min)", "small-uncon-T2B", tpm},
+	8:  {"Figure 8. T2C, small database — response time (s)", "small-uncon-T2C", secs},
+	10: {"Figure 10. T2A, small, constrained cache — response time (s)", "small-con-T2A", secs},
+	11: {"Figure 11. T2A, small, constrained cache — throughput (trans/min)", "small-con-T2A", tpm},
+	12: {"Figure 12. T2B, small, constrained cache — response time (s)", "small-con-T2B", secs},
+	13: {"Figure 13. T2B, small, constrained cache — throughput (trans/min)", "small-con-T2B", tpm},
+	15: {"Figure 15. T2A, big database — response time (s)", "big-T2A", secs},
+	16: {"Figure 16. T2A, big database — throughput (trans/min)", "big-T2A", tpm},
+	17: {"Figure 17. T2B, big database — response time (s)", "big-T2B", secs},
+	18: {"Figure 18. T2B, big database — throughput (trans/min)", "big-T2B", tpm},
+}
+
+// Cells returns the raw measured cells backing figure n, if its group has
+// run (diagnostics; empty otherwise).
+func (r *Runner) Cells(n int) []Cell {
+	if spec, ok := figSpecs[n]; ok {
+		return r.cache[spec.group]
+	}
+	switch n {
+	case 9:
+		return append(append([]Cell(nil), r.cache["small-uncon-T2A"]...), r.cache["small-uncon-T2B"]...)
+	case 14:
+		return append(append([]Cell(nil), r.cache["small-con-T2A"]...), r.cache["small-con-T2B"]...)
+	}
+	return nil
+}
+
+// FigureIDs lists every figure the harness can regenerate, in order.
+func FigureIDs() []int {
+	return []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18}
+}
+
+// Figure regenerates figure n (4–18).
+func (r *Runner) Figure(n int) (*Table, error) {
+	switch n {
+	case 9:
+		return r.writesFigure(9, "Figure 9. Client page writes per transaction, small database",
+			"small-uncon-T2A", "small-uncon-T2B", []string{"PD-ESM", "PD-REDO", "WPL"})
+	case 14:
+		return r.writesFigure(14, "Figure 14. Client page writes per transaction, small, constrained cache",
+			"small-con-T2A", "small-con-T2B", []string{"PD-ESM", "SD-ESM", "PD-REDO", "WPL"})
+	}
+	spec, ok := figSpecs[n]
+	if !ok {
+		return nil, fmt.Errorf("harness: no figure %d", n)
+	}
+	cells, err := r.group(spec.group)
+	if err != nil {
+		return nil, err
+	}
+	return cellsToSeries(spec.title, cells, r.o.Clients, spec.metric), nil
+}
+
+// writesFigure builds the bar-chart figures (9 and 14): total and log page
+// writes per transaction at one client, per underlying recovery scheme, for
+// T2A and T2B (T2C writes the same pages as T2B, §5.1).
+func (r *Runner) writesFigure(n int, title, groupA, groupB string, systems []string) (*Table, error) {
+	cellsA, err := r.group(groupA)
+	if err != nil {
+		return nil, err
+	}
+	cellsB, err := r.group(groupB)
+	if err != nil {
+		return nil, err
+	}
+	find := func(cells []Cell, sys string) (Cell, bool) {
+		for _, c := range cells {
+			if c.System == sys && c.Clients == 1 {
+				return c, true
+			}
+		}
+		return Cell{}, false
+	}
+	t := &Table{
+		Title:  title,
+		Header: []string{"system", "T2A total", "T2A log", "T2B/T2C total", "T2B/T2C log"},
+	}
+	for _, sys := range systems {
+		a, okA := find(cellsA, sys)
+		b, okB := find(cellsB, sys)
+		if !okA || !okB {
+			return nil, fmt.Errorf("harness: figure %d missing system %s", n, sys)
+		}
+		t.Rows = append(t.Rows, []string{
+			sys,
+			fmt.Sprintf("%.0f", a.TotalPages),
+			fmt.Sprintf("%.0f", a.LogPages),
+			fmt.Sprintf("%.0f", b.TotalPages),
+			fmt.Sprintf("%.0f", b.LogPages),
+		})
+	}
+	return t, nil
+}
+
+// Table1 prints the OO7 generation parameters (paper Table 1).
+func Table1() *Table {
+	s, b := oo7.SmallConfig(), oo7.BigConfig()
+	row := func(name string, sv, bv int) []string {
+		return []string{name, fmt.Sprint(sv), fmt.Sprint(bv)}
+	}
+	return &Table{
+		Title:  "Table 1. OO7 benchmark database parameters",
+		Header: []string{"parameter", "small", "big"},
+		Rows: [][]string{
+			row("NumAtomicPerComp", s.NumAtomicPerComp, b.NumAtomicPerComp),
+			row("NumConnPerAtomic", s.NumConnPerAtomic, b.NumConnPerAtomic),
+			row("DocumentSize (bytes)", s.DocumentSize, b.DocumentSize),
+			row("ManualSize (bytes)", s.ManualSize, b.ManualSize),
+			row("NumCompPerModule", s.NumCompPerModule, b.NumCompPerModule),
+			row("NumAssmPerAssm", s.NumAssmPerAssm, b.NumAssmPerAssm),
+			row("NumAssmLevels", s.NumAssmLevels, b.NumAssmLevels),
+			row("NumCompPerAssm", s.NumCompPerAssm, b.NumCompPerAssm),
+			row("NumModules", s.NumModules, b.NumModules),
+		},
+	}
+}
+
+// Table2 builds both databases and reports module and total sizes in MB
+// (paper Table 2: small 6.6/33.0, big 24.3/121.5).
+func (r *Runner) Table2() (*Table, error) {
+	size := func(cfg oo7.Config) (moduleMB, totalMB float64, err error) {
+		cfg = cfg.Scale(r.o.Scale)
+		store := disk.NewMemStore()
+		srv := server.New(server.Config{
+			Mode:            server.ModeESM,
+			Store:           store,
+			PoolPages:       2048,
+			LogCapacity:     128 << 20,
+			CheckpointEvery: 8,
+		})
+		cli := client.New(client.Config{
+			Scheme:         client.PD,
+			PoolPages:      2048,
+			RecoveryBytes:  8 << 20,
+			ShipDirtyPages: true,
+		}, wire.NewDirect(srv, nil, nil))
+		one := cfg
+		one.NumModules = 1
+		if _, err := oo7.Build(cli, one, r.o.Seed); err != nil {
+			return 0, 0, err
+		}
+		if err := srv.NewSession(nil, nil).Checkpoint(); err != nil {
+			return 0, 0, err
+		}
+		mb := float64(int64(store.Pages())*page.Size) / (1 << 20)
+		return mb, mb * float64(cfg.NumModules), nil
+	}
+	sm, st, err := size(oo7.SmallConfig())
+	if err != nil {
+		return nil, err
+	}
+	bm, bt, err := size(oo7.BigConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		Title:  "Table 2. Database sizes (in megabytes)",
+		Header: []string{"", "small", "big", "paper small", "paper big"},
+		Rows: [][]string{
+			{"module", fmt.Sprintf("%.1f", sm), fmt.Sprintf("%.1f", bm), "6.6", "24.3"},
+			{"total", fmt.Sprintf("%.1f", st), fmt.Sprintf("%.1f", bt), "33.0", "121.5"},
+		},
+	}, nil
+}
+
+// Table3 lists the software versions (paper Table 3).
+func Table3() *Table {
+	return &Table{
+		Title:  "Table 3. Software versions",
+		Header: []string{"name", "description"},
+		Rows: [][]string{
+			{"PD-ESM", "page diffing, ESM recovery"},
+			{"SD-ESM", "sub-page diffing, ESM recovery"},
+			{"SL-ESM", "sub-page logging (no diffing), ESM recovery"},
+			{"PD-REDO", "page diffing, REDO recovery"},
+			{"WPL", "whole page logging"},
+		},
+	}
+}

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOptions shrinks everything so a figure runs in well under a second.
+func fastOptions() Options {
+	return Options{Scale: 25, Clients: []int{1, 2}, Warm: 1, Measure: 1}
+}
+
+func TestTable1(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 9 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	out := tab.Format()
+	for _, want := range []string{"NumCompPerModule", "500", "2000", "NumAssmLevels"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	out := Table3().Format()
+	for _, want := range []string{"PD-ESM", "SD-ESM", "SL-ESM", "PD-REDO", "WPL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestTable2Scaled(t *testing.T) {
+	r := NewRunner(fastOptions())
+	tab, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+}
+
+func TestFigure4SmokeAndShape(t *testing.T) {
+	r := NewRunner(fastOptions())
+	tab, err := r.Figure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // WPL, PD-ESM, SD-ESM, PD-REDO
+		t.Fatalf("systems: %v", tab.Rows)
+	}
+	// Underlying cells: every response time positive.
+	for _, c := range r.cache["small-uncon-T2A"] {
+		if c.RespTime <= 0 {
+			t.Fatalf("cell %+v has nonpositive response time", c)
+		}
+		if c.TPM <= 0 {
+			t.Fatalf("cell %+v has nonpositive throughput", c)
+		}
+	}
+}
+
+func TestFigure5SharesRunWithFigure4(t *testing.T) {
+	r := NewRunner(fastOptions())
+	if _, err := r.Figure(4); err != nil {
+		t.Fatal(err)
+	}
+	cells := r.cache["small-uncon-T2A"]
+	if _, err := r.Figure(5); err != nil {
+		t.Fatal(err)
+	}
+	// Same slice: no re-run.
+	if len(r.cache) != 1 || len(r.cache["small-uncon-T2A"]) != len(cells) {
+		t.Fatal("figure 5 re-ran the group")
+	}
+}
+
+func TestFigure9WriteCounts(t *testing.T) {
+	r := NewRunner(fastOptions())
+	tab, err := r.Figure(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	cells := r.cache["small-uncon-T2A"]
+	get := func(sys string) Cell {
+		for _, c := range cells {
+			if c.System == sys && c.Clients == 1 {
+				return c
+			}
+		}
+		t.Fatalf("missing %s", sys)
+		return Cell{}
+	}
+	wpl, redo, esm := get("WPL"), get("PD-REDO"), get("PD-ESM")
+	// Paper Figure 9 shape: WPL ships far more pages than REDO on sparse
+	// updates; ESM total = REDO log pages + dirty pages ≈ WPL + log.
+	if wpl.TotalPages <= 5*redo.TotalPages {
+		t.Fatalf("WPL %.0f vs REDO %.0f: expected order-of-magnitude gap",
+			wpl.TotalPages, redo.TotalPages)
+	}
+	if redo.TotalPages != redo.LogPages {
+		t.Fatalf("REDO ships dirty pages: %+v", redo)
+	}
+	if wpl.LogPages != 0 {
+		t.Fatalf("WPL ships log pages: %+v", wpl)
+	}
+	if esm.TotalPages <= wpl.TotalPages {
+		t.Fatalf("ESM total (%.0f) should exceed WPL (%.0f) by its log pages",
+			esm.TotalPages, wpl.TotalPages)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	r := NewRunner(fastOptions())
+	if _, err := r.Figure(3); err == nil {
+		t.Fatal("figure 3 accepted")
+	}
+	if _, err := r.Figure(19); err == nil {
+		t.Fatal("figure 19 accepted")
+	}
+}
+
+func TestDeterministicAcrossRunners(t *testing.T) {
+	a, _ := NewRunner(fastOptions()).Figure(4)
+	b, _ := NewRunner(fastOptions()).Figure(4)
+	if a.Format() != b.Format() {
+		t.Fatalf("nondeterministic:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		Title:  "Figure X",
+		Header: []string{"system", "1 client(s)"},
+		Rows:   [][]string{{"PD-ESM", "10.4"}},
+	}
+	got := tab.CSV()
+	want := "# Figure X\nsystem,1 client(s)\nPD-ESM,10.4\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

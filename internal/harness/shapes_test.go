@@ -1,0 +1,200 @@
+package harness
+
+// Shape-regression tests: the paper's qualitative claims, checked at a
+// reduced scale. These guard the reproduction against calibration drift —
+// each encodes a sentence from §5 of the paper.
+
+import (
+	"testing"
+)
+
+// shapeOptions: large enough for the shapes to emerge, small enough to run
+// in seconds.
+func shapeOptions() Options {
+	return Options{Scale: 10, Clients: []int{1, 5}, Warm: 1, Measure: 1}
+}
+
+func cellOf(t *testing.T, cells []Cell, sys string, clients int) Cell {
+	t.Helper()
+	for _, c := range cells {
+		if c.System == sys && c.Clients == clients {
+			return c
+		}
+	}
+	t.Fatalf("no cell for %s at %d clients", sys, clients)
+	return Cell{}
+}
+
+func rt(c Cell) float64 { return c.RespTime.Seconds() }
+
+func TestShapeFig4_REDOBestWPLWorstSaturated(t *testing.T) {
+	r := NewRunner(shapeOptions())
+	cells, err := r.group("small-uncon-T2A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 5} {
+		redo := cellOf(t, cells, "PD-REDO", n)
+		wpl := cellOf(t, cells, "WPL", n)
+		pd := cellOf(t, cells, "PD-ESM", n)
+		sd := cellOf(t, cells, "SD-ESM", n)
+		// "PD-REDO has the best performance overall, while WPL has the worst."
+		if rt(redo) >= rt(pd) || rt(redo) >= rt(sd) || rt(redo) >= rt(wpl) {
+			t.Errorf("n=%d: PD-REDO not best: redo=%.1f pd=%.1f sd=%.1f wpl=%.1f",
+				n, rt(redo), rt(pd), rt(sd), rt(wpl))
+		}
+		if rt(wpl) <= rt(pd) || rt(wpl) <= rt(sd) {
+			t.Errorf("n=%d: WPL not worst: wpl=%.1f pd=%.1f sd=%.1f", n, rt(wpl), rt(pd), rt(sd))
+		}
+		// "SD-ESM is only slightly faster than PD-ESM."
+		if rt(sd) > rt(pd) || rt(sd) < 0.8*rt(pd) {
+			t.Errorf("n=%d: SD/PD gap wrong: sd=%.1f pd=%.1f", n, rt(sd), rt(pd))
+		}
+	}
+	// "WPL becomes saturated when more than two clients are used": its
+	// 5-client throughput is far below 5x its single-client throughput.
+	wpl1 := cellOf(t, cells, "WPL", 1)
+	wpl5 := cellOf(t, cells, "WPL", 5)
+	if wpl5.TPM > 3*wpl1.TPM {
+		t.Errorf("WPL did not saturate: tpm %f -> %f", wpl1.TPM, wpl5.TPM)
+	}
+	// The diffing schemes keep scaling better than WPL.
+	redo1, redo5 := cellOf(t, cells, "PD-REDO", 1), cellOf(t, cells, "PD-REDO", 5)
+	if redo5.TPM/redo1.TPM <= wpl5.TPM/wpl1.TPM {
+		t.Errorf("PD-REDO scaled worse than WPL: %f vs %f",
+			redo5.TPM/redo1.TPM, wpl5.TPM/wpl1.TPM)
+	}
+}
+
+func TestShapeFig9_WPLShipsOrdersOfMagnitudeMoreThanREDO(t *testing.T) {
+	r := NewRunner(shapeOptions())
+	cells, err := r.group("small-uncon-T2A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wpl := cellOf(t, cells, "WPL", 1)
+	redo := cellOf(t, cells, "PD-REDO", 1)
+	esm := cellOf(t, cells, "PD-ESM", 1)
+	// Paper: 435 vs 5 pages per transaction.
+	if wpl.TotalPages < 20*redo.TotalPages {
+		t.Errorf("WPL/REDO pages = %.0f/%.0f, want >20x", wpl.TotalPages, redo.TotalPages)
+	}
+	// ESM ships WPL's dirty pages plus its own log pages.
+	if esm.TotalPages <= wpl.TotalPages {
+		t.Errorf("ESM total %.0f should exceed WPL %.0f", esm.TotalPages, wpl.TotalPages)
+	}
+	if esm.LogPages != redo.LogPages {
+		t.Errorf("ESM and REDO generate the same log records: %.0f vs %.0f",
+			esm.LogPages, redo.LogPages)
+	}
+}
+
+func TestShapeFig10_SDWinsConstrained(t *testing.T) {
+	r := NewRunner(shapeOptions())
+	cells, err := r.group("small-con-T2A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := cellOf(t, cells, "SD-ESM", 5)
+	pd := cellOf(t, cells, "PD-ESM", 5)
+	wpl := cellOf(t, cells, "WPL", 5)
+	// "SD-ESM has the best performance ... faster than PD-ESM and WPL."
+	if rt(sd) >= rt(pd) || rt(sd) >= rt(wpl) {
+		t.Errorf("SD not best constrained: sd=%.1f pd=%.1f wpl=%.1f", rt(sd), rt(pd), rt(wpl))
+	}
+	// "PD-ESM generates ~4 times as many pages of log records as SD-ESM."
+	pd1 := cellOf(t, cells, "PD-ESM", 1)
+	sd1 := cellOf(t, cells, "SD-ESM", 1)
+	if pd1.LogPages < 2*sd1.LogPages {
+		t.Errorf("PD log pages %.0f not well above SD %.0f under pressure",
+			pd1.LogPages, sd1.LogPages)
+	}
+	// PD spills under the small recovery buffer; SD does not.
+	if pd1.Spills == 0 {
+		t.Error("PD-ESM did not spill with a 0.05 MB-scaled recovery buffer")
+	}
+	if sd1.Spills > pd1.Spills/4 {
+		t.Errorf("SD spills %.0f not far below PD %.0f", sd1.Spills, pd1.Spills)
+	}
+}
+
+func TestShapeFig8_PerUpdateCostHitsSDNotPD(t *testing.T) {
+	r := NewRunner(Options{Scale: 10, Clients: []int{1}, Warm: 1, Measure: 1})
+	b, err := r.group("small-uncon-T2B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.group("small-uncon-T2C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdB, sdC := cellOf(t, b, "SD-ESM", 1), cellOf(t, c, "SD-ESM", 1)
+	pdB, pdC := cellOf(t, b, "PD-ESM", 1), cellOf(t, c, "PD-ESM", 1)
+	// T2C quadruples the updates. SD pays per update, PD does not.
+	sdDelta := sdC.RespTime - sdB.RespTime
+	pdDelta := pdC.RespTime - pdB.RespTime
+	if sdDelta <= 2*pdDelta {
+		t.Errorf("T2C penalty: sd +%v, pd +%v; SD should pay much more", sdDelta, pdDelta)
+	}
+	if pdDelta > pdB.RespTime/10 {
+		t.Errorf("PD's T2C penalty too large: +%v on %v", pdDelta, pdB.RespTime)
+	}
+	// SL logs more than SD (diffing is worthwhile even at sub-page
+	// granularity, the paper's final conclusion).
+	slB := cellOf(t, b, "SL-ESM", 1)
+	sdB2 := cellOf(t, b, "SD-ESM", 1)
+	if slB.LogPages <= sdB2.LogPages {
+		t.Errorf("SL log pages %.0f not above SD %.0f", slB.LogPages, sdB2.LogPages)
+	}
+	if slB.RespTime <= sdB2.RespTime {
+		t.Errorf("SL %.1fs not slower than SD %.1fs", rt(slB), rt(sdB2))
+	}
+}
+
+func TestShapeBig_MemorySplitAndWPLCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big database shape test")
+	}
+	r := NewRunner(Options{Scale: 10, Clients: []int{1, 5}, Warm: 1, Measure: 2})
+	cells, err := r.group("big-T2A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "the systems that were given smaller client buffer pools begin to
+	// thrash": PD-ESM-4 pages far more than PD-ESM-1/2 and is slower at
+	// scale.
+	half5 := cellOf(t, cells, "PD-ESM-1/2", 5)
+	four5 := cellOf(t, cells, "PD-ESM-4", 5)
+	if four5.Fetches <= half5.Fetches {
+		t.Errorf("PD-ESM-4 fetches %.0f not above PD-ESM-1/2 %.0f", four5.Fetches, half5.Fetches)
+	}
+	if rt(four5) <= rt(half5) {
+		t.Errorf("PD-ESM-4 (%.0fs) should trail PD-ESM-1/2 (%.0fs) at 5 clients",
+			rt(four5), rt(half5))
+	}
+	// "there is little difference in performance between PD-ESM-4 and
+	// SD-ESM-4" — within 15%.
+	sd5 := cellOf(t, cells, "SD-ESM-4", 5)
+	ratio := rt(sd5) / rt(four5)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("SD-ESM-4/PD-ESM-4 = %.2f, want ~1", ratio)
+	}
+	// WPL has the fastest single-client time (all memory as buffer pool).
+	wpl1 := cellOf(t, cells, "WPL", 1)
+	if rt(wpl1) >= rt(cellOf(t, cells, "PD-ESM-4", 1)) {
+		t.Errorf("WPL (%.0fs) not fastest at 1 client", rt(wpl1))
+	}
+}
+
+func TestTableFormatAlignment(t *testing.T) {
+	tab := &Table{
+		Title:  "t",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"xxxxxxxx", "1"}, {"y", "2"}},
+	}
+	out := tab.Format()
+	lines := []rune(out)
+	if len(lines) == 0 || out[0] != 't' {
+		t.Fatalf("format:\n%s", out)
+	}
+}

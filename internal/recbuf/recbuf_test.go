@@ -1,0 +1,155 @@
+package recbuf
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/page"
+)
+
+func img(b byte) []byte { return bytes.Repeat([]byte{b}, page.Size) }
+
+func TestPutPageAndRetrieve(t *testing.T) {
+	b := New(4 * page.Size)
+	b.PutPage(1, img(0xaa))
+	if !b.HasPage(1) {
+		t.Fatal("page not present")
+	}
+	e := b.Entry(1)
+	if !bytes.Equal(e.Image, img(0xaa)) {
+		t.Fatal("image mismatch")
+	}
+	if b.Used() != page.Size || b.Len() != 1 {
+		t.Fatalf("used=%d len=%d", b.Used(), b.Len())
+	}
+}
+
+func TestPutPageCopies(t *testing.T) {
+	b := New(2 * page.Size)
+	src := img(1)
+	b.PutPage(1, src)
+	src[0] = 99
+	if b.Entry(1).Image[0] != 1 {
+		t.Fatal("entry aliases source")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	b := New(4 * page.Size)
+	for i := 1; i <= 3; i++ {
+		b.PutPage(page.ID(i), img(byte(i)))
+	}
+	if oldest, ok := b.Oldest(); !ok || oldest != 1 {
+		t.Fatalf("oldest = %v", oldest)
+	}
+	b.Drop(1)
+	if oldest, _ := b.Oldest(); oldest != 2 {
+		t.Fatalf("oldest after drop = %v", oldest)
+	}
+	got := b.Pages()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Pages = %v", got)
+	}
+}
+
+func TestSpillProtocol(t *testing.T) {
+	b := New(2 * page.Size)
+	b.PutPage(1, img(1))
+	b.PutPage(2, img(2))
+	if b.Fits(page.Size) {
+		t.Fatal("full buffer claims to fit another page")
+	}
+	// Caller spills oldest, then fits.
+	victim, _ := b.Oldest()
+	b.Drop(victim)
+	b.NoteSpill()
+	if !b.Fits(page.Size) {
+		t.Fatal("room not reclaimed")
+	}
+	b.PutPage(3, img(3))
+	if b.Spills() != 1 {
+		t.Fatalf("spills = %d", b.Spills())
+	}
+}
+
+func TestPutWithoutRoomPanics(t *testing.T) {
+	b := New(page.Size)
+	b.PutPage(1, img(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b.PutPage(2, img(2))
+}
+
+func TestBlocks(t *testing.T) {
+	b := New(page.Size)
+	blk := []byte{1, 2, 3, 4}
+	b.PutBlock(7, 0, blk)
+	b.PutBlock(7, 5, []byte{9, 9, 9, 9})
+	if !b.HasBlock(7, 0) || !b.HasBlock(7, 5) || b.HasBlock(7, 1) {
+		t.Fatal("block presence wrong")
+	}
+	if b.Used() != 8 {
+		t.Fatalf("used = %d", b.Used())
+	}
+	e := b.Entry(7)
+	if !bytes.Equal(e.Blocks[0], blk) {
+		t.Fatal("block image mismatch")
+	}
+	// Block copies must not alias.
+	blk[0] = 42
+	if e.Blocks[0][0] != 1 {
+		t.Fatal("block aliases source")
+	}
+	b.Drop(7)
+	if b.Used() != 0 || b.HasBlock(7, 0) {
+		t.Fatal("drop did not free blocks")
+	}
+}
+
+func TestDuplicateBlockPanics(t *testing.T) {
+	b := New(page.Size)
+	b.PutBlock(1, 3, []byte{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b.PutBlock(1, 3, []byte{2})
+}
+
+func TestMixedGranularityPanics(t *testing.T) {
+	b := New(2 * page.Size)
+	b.PutPage(1, img(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b.PutBlock(1, 0, []byte{1})
+}
+
+func TestClear(t *testing.T) {
+	b := New(2 * page.Size)
+	b.PutPage(1, img(1))
+	b.PutBlock(2, 0, []byte{1, 2})
+	b.Clear()
+	if b.Used() != 0 || b.Len() != 0 {
+		t.Fatal("clear incomplete")
+	}
+	if _, ok := b.Oldest(); ok {
+		t.Fatal("oldest after clear")
+	}
+	b.PutPage(1, img(2)) // reusable after clear
+}
+
+func TestTinyCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(100)
+}

@@ -1,0 +1,461 @@
+package server
+
+// Checkpointing, crash simulation and restart recovery.
+//
+// ESM/REDO take sharp ARIES-style checkpoints: all dirty pages are flushed
+// (after forcing the log per the write-ahead rule), the active-transaction
+// table is logged, and the log is truncated below the oldest LSN any active
+// transaction still needs. Restart then runs analysis from the checkpoint,
+// redoes history conditionally on page LSNs, and rolls back losers with
+// CLRs.
+//
+// WPL checkpoints write the WPL table to the log (paper §3.4.3); restart is
+// the paper's single backward pass that builds the committed-transactions
+// list, reconstructs the WPL table, and installs the surviving copies.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/lock"
+	"repro/internal/logrec"
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// --- checkpoint payload encoding ------------------------------------------
+
+// ckptTxn is an active-transaction-table entry in a checkpoint record.
+type ckptTxn struct {
+	tid      logrec.TID
+	lastLSN  uint64
+	firstLSN uint64
+}
+
+// ckptWPL is a WPL-table entry in a checkpoint record.
+type ckptWPL struct {
+	pid       page.ID
+	lsn       uint64
+	tid       logrec.TID
+	committed bool
+}
+
+type ckptPayload struct {
+	nextPage page.ID
+	nextTID  logrec.TID
+	txns     []ckptTxn
+	wpl      []ckptWPL
+}
+
+func (c *ckptPayload) encode() []byte {
+	buf := make([]byte, 0, 32+24*len(c.txns)+24*len(c.wpl))
+	var tmp [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put64(uint64(c.nextPage))
+	put64(uint64(c.nextTID))
+	put64(uint64(len(c.txns)))
+	put64(uint64(len(c.wpl)))
+	for _, t := range c.txns {
+		put64(uint64(t.tid))
+		put64(t.lastLSN)
+		put64(t.firstLSN)
+	}
+	for _, w := range c.wpl {
+		put64(uint64(w.pid))
+		put64(w.lsn)
+		committed := uint64(0)
+		if w.committed {
+			committed = 1
+		}
+		put64(uint64(w.tid)<<1 | committed)
+	}
+	return buf
+}
+
+func decodeCkpt(b []byte) (*ckptPayload, error) {
+	if len(b) < 32 {
+		return nil, fmt.Errorf("server: checkpoint payload too short (%d bytes)", len(b))
+	}
+	get := func(i int) uint64 { return binary.LittleEndian.Uint64(b[8*i:]) }
+	c := &ckptPayload{
+		nextPage: page.ID(get(0)),
+		nextTID:  logrec.TID(get(1)),
+	}
+	nt, nw := int(get(2)), int(get(3))
+	if len(b) != 32+24*nt+24*nw {
+		return nil, fmt.Errorf("server: checkpoint payload size mismatch")
+	}
+	idx := 4
+	for i := 0; i < nt; i++ {
+		c.txns = append(c.txns, ckptTxn{
+			tid:      logrec.TID(get(idx)),
+			lastLSN:  get(idx + 1),
+			firstLSN: get(idx + 2),
+		})
+		idx += 3
+	}
+	for i := 0; i < nw; i++ {
+		pid := page.ID(get(idx))
+		lsn := get(idx + 1)
+		packed := get(idx + 2)
+		c.wpl = append(c.wpl, ckptWPL{
+			pid:       pid,
+			lsn:       lsn,
+			tid:       logrec.TID(packed >> 1),
+			committed: packed&1 == 1,
+		})
+		idx += 3
+	}
+	return c, nil
+}
+
+// --- checkpoint ------------------------------------------------------------
+
+// Checkpoint writes a checkpoint record, updates the master record in the
+// superblock, and reclaims log space.
+func (sn *Session) Checkpoint() error {
+	s := sn.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked(sn)
+}
+
+func (s *Server) checkpointLocked(sn *Session) error {
+	c := ckptPayload{nextPage: s.nextPage, nextTID: s.nextTID}
+	if s.cfg.Mode != ModeWPL {
+		// Sharp checkpoint: force the log once, then flush every dirty page.
+		sn.m.LogWrite(s.log.Force())
+		for _, pid := range s.pool.DirtyPages() {
+			f := s.pool.Peek(pid)
+			if err := s.store.WritePage(pid, f.Bytes()); err != nil {
+				return err
+			}
+			sn.m.DataWriteAsync(1)
+			s.stats.DataWrites++
+			s.pool.MarkClean(pid)
+			delete(s.dpt, pid)
+		}
+	}
+	for _, t := range s.att {
+		c.txns = append(c.txns, ckptTxn{tid: t.tid, lastLSN: t.lastLSN, firstLSN: t.firstLSN})
+	}
+	for _, head := range s.wpl {
+		for e := head; e != nil; e = e.prev {
+			c.wpl = append(c.wpl, ckptWPL{pid: e.pid, lsn: e.lsn, tid: e.tid, committed: e.committed})
+		}
+	}
+	rec := &logrec.Record{Type: logrec.TypeCheckpoint, PrevLSN: logrec.NoLSN, After: c.encode()}
+	ckptLSN, err := s.log.Append(rec)
+	if err != nil {
+		return err
+	}
+	sn.m.LogWrite(s.log.Force())
+	if err := s.writeSuperblock(sn, superblock{
+		checkpointLSN: ckptLSN,
+		nextPage:      s.nextPage,
+		nextTID:       s.nextTID,
+		hasCheckpoint: true,
+	}); err != nil {
+		return err
+	}
+	s.stats.Checkpoints++
+	// Reclaim: the log is needed from the oldest of the checkpoint itself,
+	// any active transaction's first record, and any WPL copy still awaiting
+	// install.
+	head := ckptLSN
+	for _, t := range c.txns {
+		if t.firstLSN != logrec.NoLSN && t.firstLSN < head {
+			head = t.firstLSN
+		}
+	}
+	for _, w := range c.wpl {
+		if w.lsn < head {
+			head = w.lsn
+		}
+	}
+	return s.log.Truncate(head)
+}
+
+// --- crash and restart -----------------------------------------------------
+
+// Crash simulates a server failure: every volatile structure (buffer pool,
+// transaction tables, WPL table, lock table, unforced log tail) is lost. The
+// data volume and the forced log survive.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.Clear()
+	s.att = make(map[logrec.TID]*txn)
+	s.dpt = make(map[page.ID]uint64)
+	s.wpl = make(map[page.ID]*wplEntry)
+	s.locks = lock.NewManager(s.cfg.LockTimeout)
+	s.log.Crash()
+}
+
+// Restart recovers the server from stable state after a crash, leaving it
+// ready for new transactions.
+func (sn *Session) Restart() error {
+	s := sn.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Restarts++
+	sb, err := s.readSuperblock()
+	if err != nil {
+		return err
+	}
+	s.nextPage = maxPID(s.nextPage, sb.nextPage)
+	s.nextTID = maxTID(s.nextTID, sb.nextTID)
+	start := s.log.Head()
+	var ckpt *ckptPayload
+	if sb.hasCheckpoint {
+		rec, err := s.log.ReadAt(sb.checkpointLSN)
+		switch {
+		case errors.Is(err, wal.ErrBeyondEnd) || errors.Is(err, wal.ErrTruncated):
+			// The log does not contain the checkpoint: this is a process
+			// restart with a fresh (in-memory) log rather than a crash. The
+			// superblock was written after a sharp checkpoint flushed every
+			// page, so the volume is consistent as of that checkpoint; only
+			// the allocation counters need restoring.
+			return s.checkpointLocked(sn)
+		case err != nil:
+			return fmt.Errorf("server: reading checkpoint: %w", err)
+		}
+		ckpt, err = decodeCkpt(rec.After)
+		if err != nil {
+			return err
+		}
+		start = sb.checkpointLSN
+	}
+	// Charge the restart log scan.
+	sn.m.LogRead(wal.PagesInRange(start, s.log.StableEnd()))
+	if s.cfg.Mode == ModeWPL {
+		err = s.wplRestartLocked(sn, ckpt, start)
+	} else {
+		err = s.ariesRestartLocked(sn, ckpt, start)
+	}
+	if err != nil {
+		return err
+	}
+	return s.checkpointLocked(sn)
+}
+
+func maxPID(a, b page.ID) page.ID {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxTID(a, b logrec.TID) logrec.TID {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ariesRestartLocked runs analysis, redo and undo for ESM/REDO.
+func (s *Server) ariesRestartLocked(sn *Session, ckpt *ckptPayload, start uint64) error {
+	// Analysis: rebuild the transaction table and dirty page table.
+	att := make(map[logrec.TID]*txn)
+	if ckpt != nil {
+		for _, ct := range ckpt.txns {
+			att[ct.tid] = &txn{
+				tid:      ct.tid,
+				lastLSN:  ct.lastLSN,
+				firstLSN: ct.firstLSN,
+				pageLSN:  make(map[page.ID]uint64),
+			}
+		}
+	}
+	dpt := make(map[page.ID]uint64)
+	scanFrom := start
+	if ckpt != nil {
+		// Skip the checkpoint record itself.
+		rec, err := s.log.ReadAt(start)
+		if err != nil {
+			return err
+		}
+		scanFrom = start + uint64(rec.EncodedSize())
+	}
+	redoFrom := logrec.NoLSN
+	err := s.log.Scan(scanFrom, func(r *logrec.Record) bool {
+		switch r.Type {
+		case logrec.TypeUpdate, logrec.TypePageImage, logrec.TypeCLR:
+			t := att[r.TID]
+			if t == nil {
+				t = &txn{tid: r.TID, lastLSN: logrec.NoLSN, firstLSN: logrec.NoLSN, pageLSN: make(map[page.ID]uint64)}
+				att[r.TID] = t
+			}
+			t.lastLSN = r.LSN
+			if t.firstLSN == logrec.NoLSN {
+				t.firstLSN = r.LSN
+			}
+			if _, ok := dpt[r.Page]; !ok {
+				dpt[r.Page] = r.LSN
+			}
+		case logrec.TypeCommit, logrec.TypeEnd, logrec.TypeAbort:
+			if r.Type != logrec.TypeAbort {
+				delete(att, r.TID)
+			}
+		}
+		if r.TID >= s.nextTID {
+			s.nextTID = r.TID + 1
+		}
+		if r.Page >= s.nextPage {
+			s.nextPage = r.Page + 1
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, rec := range dpt {
+		if redoFrom == logrec.NoLSN || rec < redoFrom {
+			redoFrom = rec
+		}
+	}
+	// Redo: repeat history for pages in the DPT, conditional on page LSN.
+	if redoFrom != logrec.NoLSN {
+		var redoErr error
+		err = s.log.Scan(redoFrom, func(r *logrec.Record) bool {
+			switch r.Type {
+			case logrec.TypeUpdate, logrec.TypePageImage, logrec.TypeCLR:
+			default:
+				return true
+			}
+			recLSN, ok := dpt[r.Page]
+			if !ok || r.LSN < recLSN {
+				return true
+			}
+			f, err := s.fetchLocked(sn, r.Page, false)
+			if err != nil {
+				redoErr = err
+				return false
+			}
+			pg := page.Wrap(f.Bytes())
+			if pg.LSN() >= r.LSN && pg.LSN() != 0 {
+				return true // already on disk
+			}
+			if err := s.applyLocked(sn, r); err != nil {
+				redoErr = err
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if redoErr != nil {
+			return redoErr
+		}
+	}
+	// Undo losers.
+	for _, t := range att {
+		if err := s.undoLocked(sn, t, logrec.NoLSN); err != nil {
+			return err
+		}
+		e := logrec.NewEnd(t.tid)
+		e.PrevLSN = t.lastLSN
+		if _, err := s.log.Append(e); err != nil {
+			return err
+		}
+	}
+	sn.m.LogWrite(s.log.Force())
+	return nil
+}
+
+// wplRestartLocked is the paper's §3.4.3 restart: one backward pass from the
+// end of the log to the most recent checkpoint building the committed
+// transactions list (CTL) and the WPL table, then processing the checkpoint
+// record, then installing every recovered copy.
+func (s *Server) wplRestartLocked(sn *Session, ckpt *ckptPayload, start uint64) error {
+	ctl := make(map[logrec.TID]bool)
+	table := make(map[page.ID]*wplEntry)
+	scanFrom := start
+	if ckpt != nil {
+		rec, err := s.log.ReadAt(start)
+		if err != nil {
+			return err
+		}
+		scanFrom = start + uint64(rec.EncodedSize())
+	}
+	err := s.log.ScanBackward(scanFrom, func(r *logrec.Record) bool {
+		if r.TID >= s.nextTID {
+			s.nextTID = r.TID + 1
+		}
+		if r.Page >= s.nextPage {
+			s.nextPage = r.Page + 1
+		}
+		switch r.Type {
+		case logrec.TypeCommit:
+			ctl[r.TID] = true
+		case logrec.TypePageImage:
+			if ctl[r.TID] {
+				if _, ok := table[r.Page]; !ok {
+					// Backward scan: first copy seen is the newest committed.
+					table[r.Page] = &wplEntry{pid: r.Page, lsn: r.LSN, tid: r.TID, committed: true}
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// Entries in the checkpoint record pertaining to CTL members or already
+	// marked committed are added (unless superseded).
+	if ckpt != nil {
+		for _, w := range ckpt.wpl {
+			if !w.committed && !ctl[w.tid] {
+				continue
+			}
+			if cur, ok := table[w.pid]; ok && cur.lsn >= w.lsn {
+				continue
+			}
+			table[w.pid] = &wplEntry{pid: w.pid, lsn: w.lsn, tid: w.tid, committed: true}
+		}
+	}
+	// Normal processing could resume here; install everything so the log can
+	// be reclaimed by the checkpoint that follows.
+	for _, e := range table {
+		rec, err := s.log.ReadAt(e.lsn)
+		if err != nil {
+			return fmt.Errorf("server: WPL restart install %v: %w", e.pid, err)
+		}
+		sn.m.LogRead(1)
+		if err := s.store.WritePage(e.pid, rec.After); err != nil {
+			return err
+		}
+		sn.m.DataWriteAsync(1)
+		s.stats.DataWrites++
+		s.stats.WPLInstalls++
+	}
+	return nil
+}
+
+// FlushAll writes every dirty buffered page home (used by orderly shutdown
+// in the standalone server; not part of the measured protocols).
+func (sn *Session) FlushAll() error {
+	s := sn.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.Mode == ModeWPL {
+		return nil // installs happen at commit; nothing safe to force early
+	}
+	sn.m.LogWrite(s.log.Force())
+	for _, pid := range s.pool.DirtyPages() {
+		f := s.pool.Peek(pid)
+		if err := s.store.WritePage(pid, f.Bytes()); err != nil {
+			return err
+		}
+		sn.m.DataWriteAsync(1)
+		s.stats.DataWrites++
+		s.pool.MarkClean(pid)
+		delete(s.dpt, pid)
+	}
+	return nil
+}

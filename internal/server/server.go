@@ -1,0 +1,771 @@
+// Package server implements the storage server: an EXODUS-Storage-Manager-
+// style page server (paper §3.1) with three selectable recovery modes.
+//
+//   - ModeESM: the baseline ARIES-style scheme. Clients ship log records and
+//     then dirty pages; only the log is forced at commit (STEAL/NO-FORCE
+//     with ESM's force-to-server-at-commit rule).
+//   - ModeREDO: redo-at-server (§3.5). Clients ship log records only; the
+//     server applies each record's redo information to its copy of the page,
+//     reading the page from the data disk when necessary.
+//   - ModeWPL: whole-page logging (§3.4). Clients ship dirty pages and no
+//     log records; the server appends whole-page after-images to the log,
+//     tracks them in the WPL table, and installs them to their permanent
+//     locations after commit.
+//
+// The server owns the stable data volume, the transaction log, the lock
+// manager, and its own buffer pool. Work is reported to a costmodel.Meter
+// per session so simulated runs charge the shared server resources.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/costmodel"
+	"repro/internal/disk"
+	"repro/internal/lock"
+	"repro/internal/logrec"
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// Mode selects the server's recovery scheme.
+type Mode int
+
+// Recovery modes.
+const (
+	// ModeESM is the ARIES-based baseline used by PD-ESM/SD-ESM/SL-ESM.
+	ModeESM Mode = iota
+	// ModeREDO applies client log records at the server (PD-REDO).
+	ModeREDO
+	// ModeWPL logs whole dirty pages at the server (WPL).
+	ModeWPL
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeESM:
+		return "ESM"
+	case ModeREDO:
+		return "REDO"
+	case ModeWPL:
+		return "WPL"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Errors returned by the server.
+var (
+	ErrNoTxn         = errors.New("server: unknown or finished transaction")
+	ErrNotLocked     = errors.New("server: page not locked by transaction")
+	ErrModeViolation = errors.New("server: operation not valid in this recovery mode")
+)
+
+// Config configures a Server.
+type Config struct {
+	Mode        Mode
+	Store       disk.Store    // stable data volume; NewMemStore if nil
+	LogCapacity int           // log bytes; wal.DefaultCapacity if 0
+	PoolPages   int           // server buffer pool frames; default 4608 (36 MB)
+	LockTimeout time.Duration // lock wait bound; lock.DefaultTimeout if 0
+	// CheckpointEvery takes a checkpoint after this many commits (0 = 64).
+	CheckpointEvery int
+}
+
+// DefaultPoolPages is 36 MB of 8 KB frames, the paper's server memory.
+const DefaultPoolPages = 36 << 20 / page.Size
+
+// superblockPage holds the master record (checkpoint LSN and allocation
+// counters); it is never handed to clients.
+const superblockPage page.ID = 0
+
+// Stats counts server-side work.
+type Stats struct {
+	LogPagesReceived   int64 // client→server log record pages (ESM/REDO)
+	DirtyPagesReceived int64 // client→server dirty pages (ESM/WPL)
+	PagesServed        int64 // server→client page fetches
+	DataReads          int64 // data-disk page reads
+	DataWrites         int64 // data-disk page writes
+	LogRecordsApplied  int64 // REDO applications
+	WPLInstalls        int64 // WPL pages installed to their home location
+	WPLLogReloads      int64 // WPL pages re-read from the log
+	Commits            int64
+	Aborts             int64
+	Checkpoints        int64
+	Restarts           int64
+}
+
+// txn is an active-transaction-table entry.
+type txn struct {
+	tid      logrec.TID
+	lastLSN  uint64 // most recent log record (undo chain head); NoLSN if none
+	firstLSN uint64 // oldest log record; NoLSN if none
+	// pageLSN tracks the last LSN assigned to each page this transaction
+	// updated, used to stamp dirty pages on arrival (log records for a page
+	// always precede the page itself).
+	pageLSN map[page.ID]uint64
+	// wplPages lists pages logged for this transaction under WPL, in order.
+	wplPages []page.ID
+}
+
+// wplEntry is a WPL-table entry (paper §3.4.2).
+type wplEntry struct {
+	pid       page.ID
+	lsn       uint64 // location of the page image in the log
+	tid       logrec.TID
+	committed bool
+	prev      *wplEntry // previously logged copy still needed for recovery
+}
+
+// Server is the storage server. Its methods are invoked through Sessions.
+type Server struct {
+	cfg   Config
+	store disk.Store
+	log   *wal.Log
+	locks *lock.Manager
+
+	mu       sync.Mutex
+	pool     *buffer.Pool
+	att      map[logrec.TID]*txn
+	dpt      map[page.ID]uint64 // dirty page table: pid → recLSN (ESM/REDO)
+	wpl      map[page.ID]*wplEntry
+	nextTID  logrec.TID
+	nextPage page.ID
+	commits  int // since last checkpoint
+	stats    Stats
+}
+
+// New creates a server and formats the volume if it is empty. If the volume
+// already contains data (a reopened file store), call Restart to recover.
+func New(cfg Config) *Server {
+	if cfg.Store == nil {
+		cfg.Store = disk.NewMemStore()
+	}
+	if cfg.PoolPages == 0 {
+		cfg.PoolPages = DefaultPoolPages
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 64
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    cfg.Store,
+		log:      wal.New(cfg.LogCapacity),
+		locks:    lock.NewManager(cfg.LockTimeout),
+		pool:     buffer.NewPool(cfg.PoolPages),
+		att:      make(map[logrec.TID]*txn),
+		dpt:      make(map[page.ID]uint64),
+		wpl:      make(map[page.ID]*wplEntry),
+		nextTID:  1,
+		nextPage: 1,
+	}
+	return s
+}
+
+// Mode returns the server's recovery mode.
+func (s *Server) Mode() Mode { return s.cfg.Mode }
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Log exposes the log manager for tests and tools.
+func (s *Server) Log() *wal.Log { return s.log }
+
+// Session is one client's connection; server-side costs are charged to its
+// meter so the simulation attributes queueing correctly.
+type Session struct {
+	s *Server
+	m costmodel.Meter
+	p *costmodel.Params
+}
+
+// NewSession opens a session charging work to m with service times from p.
+func (s *Server) NewSession(m costmodel.Meter, p *costmodel.Params) *Session {
+	if m == nil {
+		m = costmodel.NopMeter{}
+	}
+	if p == nil {
+		p = costmodel.Default1995()
+	}
+	return &Session{s: s, m: m, p: p}
+}
+
+// Begin starts a transaction and returns its id.
+func (sn *Session) Begin() logrec.TID {
+	s := sn.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tid := s.nextTID
+	s.nextTID++
+	s.att[tid] = &txn{
+		tid:      tid,
+		lastLSN:  logrec.NoLSN,
+		firstLSN: logrec.NoLSN,
+		pageLSN:  make(map[page.ID]uint64),
+	}
+	return tid
+}
+
+// Lock acquires a page lock on behalf of tid, blocking until granted.
+func (sn *Session) Lock(tid logrec.TID, pid page.ID, mode lock.Mode) error {
+	sn.m.ServerCompute(sn.p.LockReqCPU)
+	return sn.s.locks.Lock(tid, pid, mode)
+}
+
+// AllocPage reserves a fresh page id for tid. The client formats the page
+// and ships it (or its image) with its recovery scheme's normal machinery.
+func (sn *Session) AllocPage(tid logrec.TID) (page.ID, error) {
+	s := sn.s
+	s.mu.Lock()
+	if _, ok := s.att[tid]; !ok {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %v", ErrNoTxn, tid)
+	}
+	pid := s.nextPage
+	s.nextPage++
+	s.mu.Unlock()
+	// New pages are implicitly exclusive to their creator.
+	if err := sn.s.locks.Lock(tid, pid, lock.Exclusive); err != nil {
+		return 0, err
+	}
+	return pid, nil
+}
+
+// ReadPage returns the contents of pid after acquiring the requested lock.
+func (sn *Session) ReadPage(tid logrec.TID, pid page.ID, mode lock.Mode) ([]byte, error) {
+	s := sn.s
+	if _, ok := s.txnOK(tid); !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoTxn, tid)
+	}
+	sn.m.ServerCompute(sn.p.LockReqCPU)
+	if err := s.locks.Lock(tid, pid, mode); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn.m.ServerCompute(sn.p.ServerPage)
+	f, err := s.fetchLocked(sn, pid, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, page.Size)
+	copy(out, f.Bytes())
+	s.stats.PagesServed++
+	return out, nil
+}
+
+func (s *Server) txnOK(tid logrec.TID) (*txn, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.att[tid]
+	return t, ok
+}
+
+// fetchLocked brings pid into the server pool, reading from the WPL log copy
+// or the data volume as appropriate. Caller holds s.mu. If mustExist is
+// false, a missing page is created empty (restart redo path).
+func (s *Server) fetchLocked(sn *Session, pid page.ID, mustExist bool) (*buffer.Frame, error) {
+	if f := s.pool.Get(pid); f != nil {
+		return f, nil
+	}
+	var buf [page.Size]byte
+	switch {
+	case s.cfg.Mode == ModeWPL && s.wpl[pid] != nil:
+		// The newest logged copy is the current version (paper §3.4.2:
+		// replaced dirty pages are re-read from the log).
+		e := s.wpl[pid]
+		rec, err := s.log.ReadAt(e.lsn)
+		if err != nil {
+			return nil, fmt.Errorf("server: WPL reload of %v: %w", pid, err)
+		}
+		copy(buf[:], rec.After)
+		sn.m.LogRead(1)
+		s.stats.WPLLogReloads++
+	default:
+		err := s.store.ReadPage(pid, buf[:])
+		switch {
+		case errors.Is(err, disk.ErrNotFound) && !mustExist:
+			page.Wrap(buf[:]).Init(pid)
+		case err != nil:
+			return nil, err
+		}
+		sn.m.DataRead(1)
+		s.stats.DataReads++
+	}
+	if err := s.makeRoomLocked(sn); err != nil {
+		return nil, err
+	}
+	return s.pool.Insert(pid, buf[:])
+}
+
+// makeRoomLocked evicts the LRU frame if the pool is full, handling dirty
+// victims per the recovery mode. Caller holds s.mu.
+func (s *Server) makeRoomLocked(sn *Session) error {
+	if !s.pool.Full() {
+		return nil
+	}
+	v := s.pool.Victim()
+	if v == nil {
+		return fmt.Errorf("%w: server pool wedged", buffer.ErrNoFrame)
+	}
+	pid := v.PID()
+	if v.Dirty() {
+		if err := s.flushVictimLocked(sn, v); err != nil {
+			return err
+		}
+	}
+	return s.pool.Remove(pid)
+}
+
+// flushVictimLocked handles a dirty page leaving the pool.
+func (s *Server) flushVictimLocked(sn *Session, v *buffer.Frame) error {
+	pid := v.PID()
+	if s.cfg.Mode == ModeWPL {
+		if e := s.wpl[pid]; e != nil && !e.committed {
+			// Uncommitted logged copy: the permanent location must not be
+			// overwritten; the log holds the current version (§3.4.2).
+			return nil
+		}
+		if e := s.wpl[pid]; e != nil && e.committed {
+			// Committed but not yet installed: install now.
+			return s.installLocked(sn, e, v.Bytes())
+		}
+		return nil
+	}
+	// ESM/REDO: write-ahead rule — force the log up to the page's LSN first.
+	pg := page.Wrap(v.Bytes())
+	if pg.LSN() != 0 && pg.LSN() >= s.log.StableEnd() {
+		sn.m.LogWrite(s.log.Force())
+	}
+	if err := s.store.WritePage(pid, v.Bytes()); err != nil {
+		return err
+	}
+	sn.m.DataWriteAsync(1)
+	s.stats.DataWrites++
+	delete(s.dpt, pid)
+	return nil
+}
+
+// ShipLog delivers a batch of client-generated log records (one "log page").
+// The server assigns LSNs, chains PrevLSN, and under REDO applies each
+// record to its copy of the page. Not valid under WPL.
+func (sn *Session) ShipLog(tid logrec.TID, data []byte) error {
+	s := sn.s
+	if s.cfg.Mode == ModeWPL {
+		return fmt.Errorf("%w: ShipLog under WPL", ErrModeViolation)
+	}
+	recs, err := logrec.DecodeAll(data)
+	if err != nil {
+		return fmt.Errorf("server: bad log page from %v: %w", tid, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.att[tid]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoTxn, tid)
+	}
+	s.stats.LogPagesReceived++
+	sn.m.ServerCompute(sn.p.ServerPage)
+	for _, r := range recs {
+		if r.Type != logrec.TypeUpdate && r.Type != logrec.TypePageImage {
+			return fmt.Errorf("server: client shipped %v record", r.Type)
+		}
+		r.TID = tid
+		r.PrevLSN = t.lastLSN
+		lsn, err := s.log.Append(r)
+		if err != nil {
+			return err
+		}
+		t.lastLSN = lsn
+		if t.firstLSN == logrec.NoLSN {
+			t.firstLSN = lsn
+		}
+		t.pageLSN[r.Page] = lsn
+		if _, ok := s.dpt[r.Page]; !ok {
+			s.dpt[r.Page] = lsn
+		}
+		if s.cfg.Mode == ModeREDO {
+			if err := s.applyLocked(sn, r); err != nil {
+				return err
+			}
+		}
+	}
+	// The server writes filled log pages to disk as they arrive, without
+	// blocking the client; the commit force queues behind this backlog.
+	sn.m.LogWriteAsync(s.log.ForceFull())
+	return nil
+}
+
+// applyLocked applies a log record's redo information to the server's copy
+// of the page (REDO mode and restart redo). Caller holds s.mu.
+func (s *Server) applyLocked(sn *Session, r *logrec.Record) error {
+	f, err := s.fetchLocked(sn, r.Page, false)
+	if err != nil {
+		return err
+	}
+	pg := page.Wrap(f.Bytes())
+	switch r.Type {
+	case logrec.TypeUpdate, logrec.TypeCLR:
+		copy(f.Bytes()[r.Off:int(r.Off)+len(r.After)], r.After)
+	case logrec.TypePageImage:
+		copy(f.Bytes(), r.After)
+	default:
+		return fmt.Errorf("server: cannot apply %v", r.Type)
+	}
+	pg.SetLSN(r.LSN)
+	s.pool.MarkDirty(r.Page)
+	sn.m.ServerCompute(sn.p.ServerApply)
+	s.stats.LogRecordsApplied++
+	return nil
+}
+
+// ShipPage delivers a dirty page. Under ESM the page is cached and stamped
+// with its last assigned LSN; under WPL it is appended to the log and
+// tracked in the WPL table. Not valid under REDO (clients never ship pages).
+func (sn *Session) ShipPage(tid logrec.TID, pid page.ID, data []byte) error {
+	s := sn.s
+	if s.cfg.Mode == ModeREDO {
+		return fmt.Errorf("%w: ShipPage under REDO", ErrModeViolation)
+	}
+	if len(data) != page.Size {
+		return fmt.Errorf("server: shipped page is %d bytes", len(data))
+	}
+	if m, ok := s.locks.Holds(tid, pid); !ok || m != lock.Exclusive {
+		return fmt.Errorf("%w: %v ships %v", ErrNotLocked, tid, pid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.att[tid]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoTxn, tid)
+	}
+	s.stats.DirtyPagesReceived++
+	sn.m.ServerCompute(sn.p.ServerPage)
+	if s.cfg.Mode == ModeWPL {
+		return s.wplShipLocked(sn, t, pid, data)
+	}
+	// ESM: the log records for this page have already arrived; stamp the
+	// page with the last LSN assigned for it so pageLSN-conditional redo is
+	// sound.
+	if err := s.makeRoomLocked(sn); err != nil {
+		return err
+	}
+	f := s.pool.Get(pid)
+	if f == nil {
+		var err error
+		f, err = s.pool.Insert(pid, data)
+		if err != nil {
+			return err
+		}
+	} else {
+		copy(f.Bytes(), data)
+	}
+	if lsn, ok := t.pageLSN[pid]; ok {
+		page.Wrap(f.Bytes()).SetLSN(lsn)
+		if _, indpt := s.dpt[pid]; !indpt {
+			s.dpt[pid] = lsn
+		}
+	}
+	s.pool.MarkDirty(pid)
+	return nil
+}
+
+// wplShipLocked appends the page image to the log and updates the WPL table.
+func (s *Server) wplShipLocked(sn *Session, t *txn, pid page.ID, data []byte) error {
+	r := logrec.NewPageImage(t.tid, pid, data)
+	r.PrevLSN = t.lastLSN
+	lsn, err := s.log.Append(r)
+	if err != nil {
+		return err
+	}
+	t.lastLSN = lsn
+	if t.firstLSN == logrec.NoLSN {
+		t.firstLSN = lsn
+	}
+	t.wplPages = append(t.wplPages, pid)
+	s.wpl[pid] = &wplEntry{pid: pid, lsn: lsn, tid: t.tid, prev: s.wpl[pid]}
+	sn.m.LogWriteAsync(s.log.ForceFull())
+	// Cache the copy; the permanent location is untouched until install.
+	if err := s.makeRoomLocked(sn); err != nil {
+		return err
+	}
+	if f := s.pool.Get(pid); f != nil {
+		copy(f.Bytes(), data)
+		s.pool.MarkDirty(pid)
+	} else if f, err := s.pool.Insert(pid, data); err != nil {
+		return err
+	} else {
+		s.pool.MarkDirty(f.PID())
+	}
+	return nil
+}
+
+// Commit commits tid: the commit record and everything before it is forced
+// to the log, then locks are released. Under WPL the transaction's logged
+// pages become installable and the background installer is kicked.
+func (sn *Session) Commit(tid logrec.TID) error {
+	s := sn.s
+	s.mu.Lock()
+	t, ok := s.att[tid]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrNoTxn, tid)
+	}
+	c := logrec.NewCommit(tid)
+	c.PrevLSN = t.lastLSN
+	if _, err := s.log.Append(c); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	t.lastLSN = c.LSN
+	sn.m.LogWrite(s.log.Force())
+	s.stats.Commits++
+	if s.cfg.Mode == ModeWPL {
+		if err := s.wplCommitLocked(sn, t); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	delete(s.att, tid)
+	s.commits++
+	// Checkpoint on schedule, or early when the log is filling (whole-page
+	// logging can write tens of MB per transaction).
+	due := s.commits >= s.cfg.CheckpointEvery || s.log.Used() > s.log.Capacity()/2
+	if due {
+		s.commits = 0
+	}
+	s.mu.Unlock()
+	s.locks.ReleaseAll(tid)
+	if due {
+		return sn.Checkpoint()
+	}
+	return nil
+}
+
+// wplCommitLocked marks the transaction's logged pages committed and
+// installs the ones whose entries are chain heads (the asynchronous
+// installer of §3.4.2, run inline at commit).
+func (s *Server) wplCommitLocked(sn *Session, t *txn) error {
+	for _, pid := range t.wplPages {
+		head := s.wpl[pid]
+		for e := head; e != nil; e = e.prev {
+			if e.tid == t.tid {
+				e.committed = true
+			}
+		}
+		if head != nil && head.tid == t.tid {
+			// Newest copy is ours and now committed: install and drop the
+			// whole chain (older copies are obsolete).
+			var img []byte
+			if f := s.pool.Peek(pid); f != nil {
+				img = f.Bytes() // "marked as read" optimization: cached at commit
+			} else {
+				rec, err := s.log.ReadAt(head.lsn)
+				if err != nil {
+					return fmt.Errorf("server: WPL install of %v: %w", pid, err)
+				}
+				img = rec.After
+				sn.m.LogReadAsync(1)
+				s.stats.WPLLogReloads++
+			}
+			if err := s.installLocked(sn, head, img); err != nil {
+				return err
+			}
+			if f := s.pool.Peek(pid); f != nil {
+				s.pool.MarkClean(pid)
+			}
+		}
+	}
+	return nil
+}
+
+// installLocked writes a committed WPL copy to its permanent location and
+// removes its table entry.
+func (s *Server) installLocked(sn *Session, e *wplEntry, img []byte) error {
+	if err := s.store.WritePage(e.pid, img); err != nil {
+		return err
+	}
+	sn.m.DataWriteAsync(1)
+	s.stats.DataWrites++
+	s.stats.WPLInstalls++
+	if s.wpl[e.pid] == e || (s.wpl[e.pid] != nil && s.wpl[e.pid].tid == e.tid) {
+		delete(s.wpl, e.pid)
+	}
+	return nil
+}
+
+// Abort rolls tid back. Under ESM/REDO the transaction's update records are
+// undone with compensation log records; under WPL its logged copies are
+// simply dropped from the WPL table (§3.4.2: abort by ignoring).
+func (sn *Session) Abort(tid logrec.TID) error {
+	s := sn.s
+	s.mu.Lock()
+	t, ok := s.att[tid]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrNoTxn, tid)
+	}
+	a := logrec.NewAbort(tid)
+	a.PrevLSN = t.lastLSN
+	s.log.Append(a)
+	var err error
+	if s.cfg.Mode == ModeWPL {
+		s.wplAbortLocked(sn, t)
+	} else {
+		err = s.undoLocked(sn, t, logrec.NoLSN)
+	}
+	e := logrec.NewEnd(tid)
+	e.PrevLSN = t.lastLSN
+	s.log.Append(e)
+	sn.m.LogWrite(s.log.Force())
+	s.stats.Aborts++
+	delete(s.att, tid)
+	s.mu.Unlock()
+	s.locks.ReleaseAll(tid)
+	return err
+}
+
+// wplAbortLocked unlinks the aborting transaction's copies from the WPL
+// table. If an older committed copy resurfaces as chain head, it is
+// installed so its log space can eventually be reclaimed.
+func (s *Server) wplAbortLocked(sn *Session, t *txn) {
+	for _, pid := range t.wplPages {
+		head := s.wpl[pid]
+		// Remove t's entries from the chain.
+		var keep *wplEntry
+		for e := head; e != nil; e = e.prev {
+			if e.tid != t.tid {
+				keep = e
+				break
+			}
+		}
+		if keep == nil {
+			delete(s.wpl, pid)
+		} else {
+			s.wpl[pid] = keep
+		}
+		// The cached copy in the pool is the aborted version; drop it.
+		if f := s.pool.Peek(pid); f != nil {
+			s.pool.MarkClean(pid)
+			s.pool.Remove(pid)
+		}
+		if keep != nil && keep.committed {
+			if rec, err := s.log.ReadAt(keep.lsn); err == nil {
+				sn.m.LogReadAsync(1)
+				s.installLocked(sn, keep, rec.After)
+			}
+		}
+	}
+}
+
+// undoLocked rolls back t's update records down to (but not including)
+// stopAt, writing CLRs. Used by abort (stopAt = NoLSN) and by restart to
+// roll back loser transactions. Undo reads the log, so it begins by forcing
+// the volatile tail.
+func (s *Server) undoLocked(sn *Session, t *txn, stopAt uint64) error {
+	sn.m.LogWrite(s.log.Force())
+	cur := t.lastLSN
+	for cur != logrec.NoLSN && cur != stopAt {
+		r, err := s.log.ReadAt(cur)
+		if err != nil {
+			return fmt.Errorf("server: undo %v at %d: %w", t.tid, cur, err)
+		}
+		switch r.Type {
+		case logrec.TypeUpdate:
+			f, err := s.fetchLocked(sn, r.Page, false)
+			if err != nil {
+				return err
+			}
+			copy(f.Bytes()[r.Off:int(r.Off)+len(r.Before)], r.Before)
+			clr := &logrec.Record{
+				TID:      t.tid,
+				Type:     logrec.TypeCLR,
+				Page:     r.Page,
+				Off:      r.Off,
+				UndoNext: r.PrevLSN,
+				After:    append([]byte(nil), r.Before...),
+				PrevLSN:  t.lastLSN,
+			}
+			lsn, err := s.log.Append(clr)
+			if err != nil {
+				return err
+			}
+			t.lastLSN = lsn
+			page.Wrap(f.Bytes()).SetLSN(lsn)
+			s.pool.MarkDirty(r.Page)
+			if _, ok := s.dpt[r.Page]; !ok {
+				s.dpt[r.Page] = lsn
+			}
+			cur = r.PrevLSN
+		case logrec.TypeCLR:
+			cur = r.UndoNext
+		case logrec.TypePageImage:
+			// A fresh page created by the loser: it was never linked into
+			// any committed structure, so leave its bytes; the allocation is
+			// simply wasted (documented in DESIGN.md).
+			cur = r.PrevLSN
+		default:
+			cur = r.PrevLSN
+		}
+	}
+	return nil
+}
+
+// --- superblock ----------------------------------------------------------
+
+const superMagic = 0x51535342 // "QSSB"
+
+type superblock struct {
+	checkpointLSN uint64
+	nextPage      page.ID
+	nextTID       logrec.TID
+	hasCheckpoint bool
+}
+
+func (s *Server) writeSuperblock(sn *Session, sb superblock) error {
+	var buf [page.Size]byte
+	binary.LittleEndian.PutUint32(buf[0:], superMagic)
+	flags := uint32(0)
+	if sb.hasCheckpoint {
+		flags = 1
+	}
+	binary.LittleEndian.PutUint32(buf[4:], flags)
+	binary.LittleEndian.PutUint64(buf[8:], sb.checkpointLSN)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(sb.nextPage))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(sb.nextTID))
+	if err := s.store.WritePage(superblockPage, buf[:]); err != nil {
+		return err
+	}
+	sn.m.DataWriteAsync(1)
+	return nil
+}
+
+func (s *Server) readSuperblock() (superblock, error) {
+	var buf [page.Size]byte
+	err := s.store.ReadPage(superblockPage, buf[:])
+	if errors.Is(err, disk.ErrNotFound) {
+		return superblock{nextPage: 1, nextTID: 1}, nil
+	}
+	if err != nil {
+		return superblock{}, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != superMagic {
+		return superblock{}, errors.New("server: bad superblock magic")
+	}
+	return superblock{
+		hasCheckpoint: binary.LittleEndian.Uint32(buf[4:]) == 1,
+		checkpointLSN: binary.LittleEndian.Uint64(buf[8:]),
+		nextPage:      page.ID(binary.LittleEndian.Uint32(buf[16:])),
+		nextTID:       logrec.TID(binary.LittleEndian.Uint64(buf[24:])),
+	}, nil
+}

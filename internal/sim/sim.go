@@ -1,0 +1,212 @@
+// Package sim is a small deterministic discrete-event simulation kernel used
+// to reproduce the paper's multi-client performance experiments on the
+// 1995 testbed (five client workstations, one server, a shared 10 Mbit
+// Ethernet, and separate data and log disks) without that hardware.
+//
+// Simulated activities run as ordinary goroutines ("processes") that are
+// cooperatively scheduled by the kernel: at any instant exactly one process
+// executes, and the kernel always resumes the process with the earliest
+// pending wake-up time. Because every blocking operation goes through the
+// kernel, processes observe a single global clock and calls to shared
+// resources occur in nondecreasing time order, which makes the simple FCFS
+// reservation discipline in Resource exact.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Kernel is a discrete-event scheduler. Create with New, add processes with
+// Spawn, then call Run from the owning goroutine.
+type Kernel struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	yield  chan struct{}
+	live   int
+}
+
+type event struct {
+	at   time.Duration
+	seq  uint64 // tie-break so equal-time events run in schedule order
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// New returns an empty kernel at time zero.
+func New() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Proc is a simulated process. All of its methods must be called from the
+// goroutine started by Spawn.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// Spawn registers fn as a process that begins executing at the current
+// simulation time when Run is called.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.schedule(k.now, p)
+	k.live++
+	go func() {
+		<-p.resume
+		fn(p)
+		k.live--
+		k.yield <- struct{}{}
+	}()
+}
+
+func (k *Kernel) schedule(at time.Duration, p *Proc) {
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, proc: p})
+}
+
+// Run executes events until every spawned process has returned. It must be
+// called from the goroutine that owns the kernel, and processes must only be
+// added before Run starts or from within running processes.
+func (k *Kernel) Run() {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(event)
+		if e.at < k.now {
+			panic(fmt.Sprintf("sim: time went backward: %v < %v", e.at, k.now))
+		}
+		k.now = e.at
+		e.proc.resume <- struct{}{}
+		<-k.yield
+	}
+	if k.live != 0 {
+		panic("sim: processes still live with no pending events (deadlock)")
+	}
+}
+
+// sleepUntil blocks the process until the given simulation time.
+func (p *Proc) sleepUntil(at time.Duration) {
+	if at < p.k.now {
+		at = p.k.now
+	}
+	p.k.schedule(at, p)
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process's clock by d without consuming any resource.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.sleepUntil(p.k.now + d)
+}
+
+// Resource is a single-server FCFS queueing station (a CPU, a disk, or the
+// shared network segment). Service requests from concurrently executing
+// processes queue in arrival order; utilization statistics accumulate for
+// reporting.
+type Resource struct {
+	Name   string
+	k      *Kernel
+	freeAt time.Duration
+	busy   time.Duration
+	uses   int64
+}
+
+// NewResource creates a resource attached to k.
+func (k *Kernel) NewResource(name string) *Resource {
+	return &Resource{Name: name, k: k}
+}
+
+// Use blocks p while it queues for and then holds the resource for the given
+// service time.
+func (r *Resource) Use(p *Proc, service time.Duration) {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	if service == 0 {
+		return
+	}
+	start := p.k.now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end := start + service
+	r.freeAt = end
+	r.busy += service
+	r.uses++
+	p.sleepUntil(end)
+}
+
+// Reserve schedules service time on the resource without blocking the
+// caller, modelling asynchronous background work (for example the WPL
+// installer writing pages home, or NO-FORCE lazy flushes). It returns the
+// time at which the work will complete.
+func (r *Resource) Reserve(p *Proc, service time.Duration) time.Duration {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	start := p.k.now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end := start + service
+	r.freeAt = end
+	r.busy += service
+	r.uses++
+	return end
+}
+
+// Sync blocks p until every reservation and use issued so far has
+// completed — the disk analogue of "wait for all writes in flight".
+func (r *Resource) Sync(p *Proc) {
+	if r.freeAt > p.k.now {
+		p.sleepUntil(r.freeAt)
+	}
+}
+
+// BusyTime returns the total service time the resource has delivered.
+func (r *Resource) BusyTime() time.Duration { return r.busy }
+
+// Uses returns the number of service requests the resource has handled.
+func (r *Resource) Uses() int64 { return r.uses }
+
+// Utilization returns busy time divided by elapsed simulation time.
+func (r *Resource) Utilization() float64 {
+	if r.k.now == 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(r.k.now)
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	k := New()
+	var end time.Duration
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		p.Sleep(3 * time.Millisecond)
+		end = p.Now()
+	})
+	k.Run()
+	if end != 8*time.Millisecond {
+		t.Fatalf("end = %v", end)
+	}
+	if k.Now() != 8*time.Millisecond {
+		t.Fatalf("kernel now = %v", k.Now())
+	}
+}
+
+func TestInterleavingIsTimeOrdered(t *testing.T) {
+	k := New()
+	var order []string
+	logat := func(p *Proc, tag string) { order = append(order, tag) }
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		logat(p, "a10")
+		p.Sleep(20 * time.Millisecond) // wakes at 30
+		logat(p, "a30")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		logat(p, "b5")
+		p.Sleep(20 * time.Millisecond) // wakes at 25
+		logat(p, "b25")
+	})
+	k.Run()
+	want := []string{"b5", "a10", "b25", "a30"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEqualTimeEventsRunInSpawnOrder(t *testing.T) {
+	k := New()
+	var order []string
+	for _, name := range []string{"x", "y", "z"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			order = append(order, name)
+		})
+	}
+	k.Run()
+	if order[0] != "x" || order[1] != "y" || order[2] != "z" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	k := New()
+	disk := k.NewResource("disk")
+	var aEnd, bEnd time.Duration
+	k.Spawn("a", func(p *Proc) {
+		disk.Use(p, 10*time.Millisecond)
+		aEnd = p.Now()
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(1 * time.Millisecond)
+		disk.Use(p, 10*time.Millisecond) // must queue behind a
+		bEnd = p.Now()
+	})
+	k.Run()
+	if aEnd != 10*time.Millisecond {
+		t.Fatalf("a finished at %v", aEnd)
+	}
+	if bEnd != 20*time.Millisecond {
+		t.Fatalf("b finished at %v, want 20ms (queued)", bEnd)
+	}
+	if disk.BusyTime() != 20*time.Millisecond {
+		t.Fatalf("busy = %v", disk.BusyTime())
+	}
+	if disk.Uses() != 2 {
+		t.Fatalf("uses = %d", disk.Uses())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	k := New()
+	r := k.NewResource("r")
+	var end time.Duration
+	k.Spawn("a", func(p *Proc) {
+		r.Use(p, 5*time.Millisecond)
+		p.Sleep(100 * time.Millisecond)
+		r.Use(p, 5*time.Millisecond) // resource idle in between
+		end = p.Now()
+	})
+	k.Run()
+	if end != 110*time.Millisecond {
+		t.Fatalf("end = %v", end)
+	}
+	if got := r.Utilization(); got < 0.0909 || got > 0.0910 {
+		t.Fatalf("utilization = %v", got)
+	}
+}
+
+func TestReserveDoesNotBlock(t *testing.T) {
+	k := New()
+	disk := k.NewResource("disk")
+	var compAt, procEnd time.Duration
+	k.Spawn("a", func(p *Proc) {
+		compAt = disk.Reserve(p, 50*time.Millisecond)
+		procEnd = p.Now()
+	})
+	k.Run()
+	if procEnd != 0 {
+		t.Fatalf("Reserve blocked the caller until %v", procEnd)
+	}
+	if compAt != 50*time.Millisecond {
+		t.Fatalf("completion at %v", compAt)
+	}
+	// A subsequent synchronous use queues behind the reservation.
+	k2 := New()
+	d2 := k2.NewResource("d")
+	var end time.Duration
+	k2.Spawn("a", func(p *Proc) {
+		d2.Reserve(p, 30*time.Millisecond)
+		d2.Use(p, 10*time.Millisecond)
+		end = p.Now()
+	})
+	k2.Run()
+	if end != 40*time.Millisecond {
+		t.Fatalf("use after reserve ended at %v, want 40ms", end)
+	}
+}
+
+func TestZeroServiceIsFree(t *testing.T) {
+	k := New()
+	r := k.NewResource("r")
+	k.Spawn("a", func(p *Proc) {
+		r.Use(p, 0)
+		if p.Now() != 0 {
+			t.Error("zero service advanced time")
+		}
+	})
+	k.Run()
+	if r.Uses() != 0 {
+		t.Fatalf("zero-service use counted: %d", r.Uses())
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	k := New()
+	var childEnd time.Duration
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		k.Spawn("child", func(c *Proc) {
+			c.Sleep(2 * time.Millisecond)
+			childEnd = c.Now()
+		})
+		p.Sleep(time.Millisecond)
+	})
+	k.Run()
+	if childEnd != 3*time.Millisecond {
+		t.Fatalf("child ended at %v", childEnd)
+	}
+}
+
+func TestManyProcessesDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		k := New()
+		r := k.NewResource("shared")
+		for i := 0; i < 20; i++ {
+			i := i
+			k.Spawn("p", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Sleep(time.Duration(i+1) * time.Millisecond)
+					r.Use(p, time.Duration(j+1)*100*time.Microsecond)
+				}
+			})
+		}
+		k.Run()
+		return k.Now()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	k := New()
+	k.Spawn("a", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for negative sleep")
+			}
+		}()
+		p.Sleep(-1)
+	})
+	k.Run()
+}

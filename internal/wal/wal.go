@@ -1,0 +1,296 @@
+// Package wal implements the server's transaction log: a circular,
+// append-only log on a dedicated disk, as in ESM (paper §3.1).
+//
+// LSNs are byte offsets into the conceptually infinite log stream; the
+// physical location of LSN l is l modulo the log capacity. Appended records
+// are volatile until Force is called (write-ahead logging); a simulated
+// crash discards the unforced tail. The log can be scanned forward from any
+// record boundary (ARIES redo), read at a specific LSN (WPL page reload),
+// and truncated from the head as space is reclaimed.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/logrec"
+	"repro/internal/page"
+)
+
+// Errors returned by the log manager.
+var (
+	ErrFull      = errors.New("wal: log full")
+	ErrTruncated = errors.New("wal: LSN already reclaimed")
+	ErrBeyondEnd = errors.New("wal: LSN beyond stable end")
+	// ErrTorn marks a record only partially stable when a crash hit —
+	// page-grained flushing (ForceFull) can split a record across the
+	// durability boundary. Scans treat it as end of log; such a record
+	// belongs to an uncommitted transaction by WAL rules.
+	ErrTorn = errors.New("wal: torn record at end of log")
+)
+
+// Log is the server's log manager. It is safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	capacity uint64
+	ring     []byte
+	head     uint64 // oldest LSN still needed; space below is reclaimed
+	flushed  uint64 // stable up to here; [flushed, next) is volatile
+	next     uint64 // next LSN to assign
+	forces   int64
+	pages    int64 // cumulative 8 KB log pages physically written
+}
+
+// DefaultCapacity is the log size used when Config.Capacity is zero: 256 MB,
+// comfortably larger than the paper's workloads generate between
+// checkpoints.
+const DefaultCapacity = 256 << 20
+
+// FirstLSN is the LSN of the first record ever appended. LSNs start one log
+// page in so that 0 can mean "no LSN" in page headers (a freshly formatted
+// page has page LSN 0).
+const FirstLSN = uint64(page.Size)
+
+// New creates a log with the given capacity in bytes (DefaultCapacity if 0).
+func New(capacity int) *Log {
+	if capacity == 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{
+		capacity: uint64(capacity),
+		ring:     make([]byte, capacity),
+		head:     FirstLSN,
+		flushed:  FirstLSN,
+		next:     FirstLSN,
+	}
+}
+
+// Append assigns the next LSN to r and stores its encoding in the volatile
+// tail. It returns the assigned LSN. The caller is responsible for setting
+// PrevLSN and the transaction fields before appending.
+func (l *Log) Append(r *logrec.Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := uint64(r.EncodedSize())
+	if l.next+size-l.head > l.capacity {
+		return 0, fmt.Errorf("%w: need %d bytes, %d in use of %d",
+			ErrFull, size, l.next-l.head, l.capacity)
+	}
+	r.LSN = l.next
+	buf := r.Encode(nil)
+	l.writeRing(l.next, buf)
+	l.next += size
+	return r.LSN, nil
+}
+
+func (l *Log) writeRing(at uint64, b []byte) {
+	pos := at % l.capacity
+	n := copy(l.ring[pos:], b)
+	if n < len(b) {
+		copy(l.ring, b[n:])
+	}
+}
+
+func (l *Log) readRing(at uint64, b []byte) {
+	pos := at % l.capacity
+	n := copy(b, l.ring[pos:])
+	if n < len(b) {
+		copy(b[n:], l.ring[:len(b)-n])
+	}
+}
+
+// Force makes every appended record stable and returns the number of 8 KB
+// log pages physically written, so callers can charge the log disk. A force
+// that has nothing to flush writes no pages.
+func (l *Log) Force() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.flushed == l.next {
+		return 0
+	}
+	first := l.flushed / page.Size
+	last := (l.next - 1) / page.Size
+	n := int(last - first + 1)
+	l.flushed = l.next
+	l.forces++
+	l.pages += int64(n)
+	return n
+}
+
+// ForceFull makes only the complete 8 KB log pages of the volatile tail
+// stable, leaving a partially filled tail page buffered in memory. Servers
+// call this as client log records arrive so the disk sees full sequential
+// pages; Force (at commit) flushes the remainder. Returns pages written.
+func (l *Log) ForceFull() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	boundary := l.next / page.Size * page.Size
+	if boundary <= l.flushed {
+		return 0
+	}
+	first := l.flushed / page.Size
+	last := (boundary - 1) / page.Size
+	n := int(last - first + 1)
+	l.flushed = boundary
+	l.pages += int64(n)
+	return n
+}
+
+// Crash discards the volatile tail, as a server failure would.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next = l.flushed
+}
+
+// Truncate reclaims log space below newHead, which must be a record boundary
+// at or below the stable end.
+func (l *Log) Truncate(newHead uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if newHead < l.head {
+		return fmt.Errorf("wal: truncate moves head backward (%d < %d)", newHead, l.head)
+	}
+	if newHead > l.flushed {
+		return fmt.Errorf("wal: truncate beyond stable end (%d > %d)", newHead, l.flushed)
+	}
+	l.head = newHead
+	return nil
+}
+
+// Used returns the bytes of log space currently occupied.
+func (l *Log) Used() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - l.head
+}
+
+// Capacity returns the configured log size in bytes.
+func (l *Log) Capacity() uint64 { return l.capacity }
+
+// Head returns the oldest retained LSN.
+func (l *Log) Head() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// StableEnd returns the LSN just past the last forced record.
+func (l *Log) StableEnd() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// End returns the next LSN to be assigned (including volatile records).
+func (l *Log) End() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Forces returns how many Force calls actually wrote.
+func (l *Log) Forces() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forces
+}
+
+// PagesWritten returns the cumulative count of 8 KB log pages written.
+func (l *Log) PagesWritten() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pages
+}
+
+// ReadAt decodes the stable record starting at lsn.
+func (l *Log) ReadAt(lsn uint64) (*logrec.Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readAtLocked(lsn)
+}
+
+func (l *Log) readAtLocked(lsn uint64) (*logrec.Record, error) {
+	if lsn < l.head {
+		return nil, fmt.Errorf("%w: %d < head %d", ErrTruncated, lsn, l.head)
+	}
+	// Reads may cover the volatile tail: the in-memory log buffer is part of
+	// the log manager (WPL re-reads unforced page images, undo walks fresh
+	// records). A crash truncates next back to flushed, so post-crash reads
+	// see only stable records.
+	if lsn+logrec.HeaderSize > l.next {
+		return nil, fmt.Errorf("%w: %d", ErrBeyondEnd, lsn)
+	}
+	var hdr [logrec.HeaderSize]byte
+	l.readRing(lsn, hdr[:])
+	total := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+	if total < logrec.HeaderSize {
+		return nil, fmt.Errorf("wal: bad record length %d at LSN %d", total, lsn)
+	}
+	if lsn+uint64(total) > l.next {
+		return nil, fmt.Errorf("%w: %d bytes at LSN %d", ErrTorn, total, lsn)
+	}
+	buf := make([]byte, total)
+	l.readRing(lsn, buf)
+	r, _, err := logrec.Decode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("wal: record at LSN %d: %w", lsn, err)
+	}
+	return r, nil
+}
+
+// Scan calls fn for every stable record with LSN in [from, StableEnd), in
+// LSN order, stopping early if fn returns false. from must be a record
+// boundary at or above the head; passing Head() scans the whole retained
+// log.
+func (l *Log) Scan(from uint64, fn func(*logrec.Record) bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.head {
+		return fmt.Errorf("%w: scan from %d < head %d", ErrTruncated, from, l.head)
+	}
+	for lsn := from; lsn < l.next; {
+		r, err := l.readAtLocked(lsn)
+		if errors.Is(err, ErrTorn) || errors.Is(err, ErrBeyondEnd) {
+			return nil // torn tail after a crash: end of usable log
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(r) {
+			return nil
+		}
+		lsn += uint64(r.EncodedSize())
+	}
+	return nil
+}
+
+// ScanBackward collects every stable record in [from, StableEnd) and calls
+// fn from the newest to the oldest, stopping early if fn returns false. This
+// is the access pattern of WPL restart (paper §3.4.3); the caller charges
+// the log disk for the pages touched.
+func (l *Log) ScanBackward(from uint64, fn func(*logrec.Record) bool) error {
+	var recs []*logrec.Record
+	if err := l.Scan(from, func(r *logrec.Record) bool {
+		recs = append(recs, r)
+		return true
+	}); err != nil {
+		return err
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		if !fn(recs[i]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// PagesInRange returns the number of 8 KB log pages overlapping [from, to),
+// for disk-cost accounting of scans.
+func PagesInRange(from, to uint64) int {
+	if to <= from {
+		return 0
+	}
+	return int((to-1)/page.Size - from/page.Size + 1)
+}

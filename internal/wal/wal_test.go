@@ -1,0 +1,307 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/logrec"
+	"repro/internal/page"
+)
+
+func upd(tid logrec.TID, pg page.ID, n int) *logrec.Record {
+	b := bytes.Repeat([]byte{1}, n)
+	a := bytes.Repeat([]byte{2}, n)
+	return logrec.NewUpdate(tid, pg, 0, b, a)
+}
+
+func TestAppendAssignsSequentialLSNs(t *testing.T) {
+	l := New(1 << 20)
+	r1 := upd(1, 10, 8)
+	r2 := upd(1, 11, 8)
+	lsn1, err := l.Append(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn2, err := l.Append(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn1 != FirstLSN {
+		t.Fatalf("first LSN = %d, want %d", lsn1, FirstLSN)
+	}
+	if lsn2 != FirstLSN+uint64(r1.EncodedSize()) {
+		t.Fatalf("second LSN = %d, want %d", lsn2, r1.EncodedSize())
+	}
+}
+
+func TestForceAndReadAt(t *testing.T) {
+	l := New(1 << 20)
+	r := upd(7, 42, 16)
+	lsn, _ := l.Append(r)
+	// Unforced records are readable (they live in the log buffer) …
+	if _, err := l.ReadAt(lsn); err != nil {
+		t.Fatalf("read of unforced record: %v", err)
+	}
+	// … but do not survive a crash (TestCrashDropsVolatileTail).
+	if n := l.Force(); n != 1 {
+		t.Fatalf("force wrote %d pages, want 1", n)
+	}
+	got, err := l.ReadAt(lsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TID != 7 || got.Page != 42 || !bytes.Equal(got.Before, r.Before) {
+		t.Fatalf("read back %v", got)
+	}
+	if n := l.Force(); n != 0 {
+		t.Fatalf("idle force wrote %d pages", n)
+	}
+}
+
+func TestCrashDropsVolatileTail(t *testing.T) {
+	l := New(1 << 20)
+	l.Append(upd(1, 1, 8))
+	l.Force()
+	stable := l.StableEnd()
+	l.Append(upd(1, 2, 8))
+	l.Crash()
+	if l.End() != stable {
+		t.Fatalf("end %d after crash, want %d", l.End(), stable)
+	}
+	count := 0
+	l.Scan(l.Head(), func(*logrec.Record) bool { count++; return true })
+	if count != 1 {
+		t.Fatalf("%d records survive crash, want 1", count)
+	}
+}
+
+func TestScanOrderAndEarlyStop(t *testing.T) {
+	l := New(1 << 20)
+	var lsns []uint64
+	for i := 0; i < 10; i++ {
+		lsn, _ := l.Append(upd(logrec.TID(i), page.ID(i), 8))
+		lsns = append(lsns, lsn)
+	}
+	l.Force()
+	var seen []uint64
+	l.Scan(l.Head(), func(r *logrec.Record) bool {
+		seen = append(seen, r.LSN)
+		return true
+	})
+	if len(seen) != 10 {
+		t.Fatalf("scanned %d records", len(seen))
+	}
+	for i := range seen {
+		if seen[i] != lsns[i] {
+			t.Fatalf("scan order: %v vs %v", seen, lsns)
+		}
+	}
+	// Scan from the middle.
+	var tail []uint64
+	l.Scan(lsns[5], func(r *logrec.Record) bool {
+		tail = append(tail, r.LSN)
+		return true
+	})
+	if len(tail) != 5 || tail[0] != lsns[5] {
+		t.Fatalf("mid scan: %v", tail)
+	}
+	// Early stop.
+	n := 0
+	l.Scan(l.Head(), func(r *logrec.Record) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop scanned %d", n)
+	}
+}
+
+func TestScanBackward(t *testing.T) {
+	l := New(1 << 20)
+	for i := 0; i < 5; i++ {
+		l.Append(upd(logrec.TID(i), 1, 8))
+	}
+	l.Force()
+	var tids []logrec.TID
+	l.ScanBackward(l.Head(), func(r *logrec.Record) bool {
+		tids = append(tids, r.TID)
+		return true
+	})
+	want := []logrec.TID{4, 3, 2, 1, 0}
+	for i := range want {
+		if tids[i] != want[i] {
+			t.Fatalf("backward order %v", tids)
+		}
+	}
+}
+
+func TestTruncateReclaimsSpace(t *testing.T) {
+	l := New(8192) // fits three ~2 KB records
+	var lsns []uint64
+	// Fill close to capacity.
+	for i := 0; ; i++ {
+		lsn, err := l.Append(upd(1, page.ID(i), 1000))
+		if err != nil {
+			break
+		}
+		lsns = append(lsns, lsn)
+	}
+	if len(lsns) < 2 {
+		t.Fatalf("only %d records fit", len(lsns))
+	}
+	l.Force()
+	if _, err := l.Append(upd(1, 99, 1000)); err == nil {
+		t.Fatal("append into full log succeeded")
+	}
+	if err := l.Truncate(lsns[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(upd(1, 99, 1000)); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+	// The reclaimed record is no longer readable.
+	if _, err := l.ReadAt(lsns[0]); err == nil {
+		t.Fatal("read of truncated record succeeded")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	// Capacity fits ~3 records; repeatedly append+truncate to force the ring
+	// to wrap and verify data integrity across the boundary.
+	l := New(1024)
+	var prev uint64
+	for i := 0; i < 100; i++ {
+		r := upd(logrec.TID(i), page.ID(i), 100)
+		lsn, err := l.Append(r)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		l.Force()
+		got, err := l.ReadAt(lsn)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if got.TID != logrec.TID(i) || !bytes.Equal(got.After, r.After) {
+			t.Fatalf("iteration %d: corrupt read across wrap", i)
+		}
+		if i > 0 {
+			l.Truncate(prev)
+		}
+		prev = lsn
+	}
+}
+
+func TestForcePageAccounting(t *testing.T) {
+	l := New(1 << 20)
+	// ~52+2048*2 = 4148 bytes: two of them span pages 0 and 1.
+	l.Append(upd(1, 1, 2048))
+	l.Append(upd(1, 2, 2048))
+	n := l.Force()
+	if n != 2 {
+		t.Fatalf("first force wrote %d pages, want 2", n)
+	}
+	// A tiny record on the already partially-written page 1 rewrites it.
+	l.Append(logrec.NewCommit(1))
+	if n := l.Force(); n != 1 {
+		t.Fatalf("tail force wrote %d pages, want 1", n)
+	}
+	if l.PagesWritten() != 3 {
+		t.Fatalf("cumulative pages = %d", l.PagesWritten())
+	}
+	if l.Forces() != 2 {
+		t.Fatalf("forces = %d", l.Forces())
+	}
+}
+
+func TestPagesInRange(t *testing.T) {
+	cases := []struct {
+		from, to uint64
+		want     int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, page.Size, 1},
+		{0, page.Size + 1, 2},
+		{page.Size - 1, page.Size + 1, 2},
+		{page.Size, 2 * page.Size, 1},
+		{10, 10, 0},
+	}
+	for _, c := range cases {
+		if got := PagesInRange(c.from, c.to); got != c.want {
+			t.Errorf("PagesInRange(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestTruncateValidation(t *testing.T) {
+	l := New(1 << 20)
+	l.Append(upd(1, 1, 8))
+	l.Force()
+	end := l.StableEnd()
+	if err := l.Truncate(end); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Truncate(end - 1); err == nil {
+		t.Fatal("backward truncate succeeded")
+	}
+	l.Append(upd(1, 2, 8))
+	if err := l.Truncate(l.End()); err == nil {
+		t.Fatal("truncate past stable end succeeded")
+	}
+}
+
+func TestForceFullLeavesPartialTail(t *testing.T) {
+	l := New(1 << 20)
+	// ~4148-byte record: less than half a log page.
+	l.Append(upd(1, 1, 2048))
+	if n := l.ForceFull(); n != 0 {
+		t.Fatalf("ForceFull flushed %d pages with only a partial page pending", n)
+	}
+	// Second record crosses the first page boundary.
+	l.Append(upd(1, 2, 2048))
+	if n := l.ForceFull(); n != 1 {
+		t.Fatalf("ForceFull flushed %d pages, want 1", n)
+	}
+	// The remainder flushes with a normal force.
+	if n := l.Force(); n != 1 {
+		t.Fatalf("Force flushed %d pages, want the partial tail (1)", n)
+	}
+}
+
+func TestTornRecordStopsScanAfterCrash(t *testing.T) {
+	l := New(1 << 20)
+	lsn1, _ := l.Append(upd(1, 1, 5000)) // spans into page 1... (record > 8 KB with header+images)
+	l.ForceFull()                        // flushes only the full pages: tears the record
+	l.Crash()                            // drops the rest
+	count := 0
+	if err := l.Scan(l.Head(), func(r *logrec.Record) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatalf("scan over torn tail errored: %v", err)
+	}
+	if count != 0 {
+		t.Fatalf("scanned %d records from a torn log", count)
+	}
+	// ReadAt of the torn record reports ErrTorn (or beyond-end).
+	if _, err := l.ReadAt(lsn1); err == nil {
+		t.Fatal("read of torn record succeeded")
+	}
+}
+
+func TestUsedAndCapacity(t *testing.T) {
+	l := New(1 << 20)
+	if l.Used() != 0 {
+		t.Fatalf("fresh log used = %d", l.Used())
+	}
+	if l.Capacity() != 1<<20 {
+		t.Fatalf("capacity = %d", l.Capacity())
+	}
+	r := upd(1, 1, 100)
+	l.Append(r)
+	if l.Used() != uint64(r.EncodedSize()) {
+		t.Fatalf("used = %d, want %d", l.Used(), r.EncodedSize())
+	}
+	l.Force()
+	l.Truncate(l.StableEnd())
+	if l.Used() != 0 {
+		t.Fatalf("used after truncate = %d", l.Used())
+	}
+}

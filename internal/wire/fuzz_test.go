@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// FuzzParseRequest hardens the server-side frame parser.
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte{opBegin, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xaa}, 64))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fr, err := parseRequest(body)
+		if err != nil {
+			return
+		}
+		if int(fr.op) < 0 {
+			t.Fatal("impossible")
+		}
+	})
+}
+
+// FuzzServerAgainstGarbage throws arbitrary bytes at a live TCP server; it
+// must neither panic nor corrupt state for well-behaved clients that follow.
+func FuzzServerAgainstGarbage(f *testing.F) {
+	srv := server.New(server.Config{
+		Mode:        server.ModeESM,
+		PoolPages:   64,
+		LogCapacity: 8 << 20,
+		LockTimeout: 200 * time.Millisecond,
+	})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	go Serve(lis, srv)
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0}, 32))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, garbage []byte) {
+		conn, err := net.Dial("tcp", lis.Addr().String())
+		if err != nil {
+			t.Skip("listener gone")
+		}
+		conn.Write(garbage)
+		conn.Close()
+		// A well-behaved client still works afterwards.
+		cli, err := Dial(lis.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		tid, err := cli.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Abort(tid); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,352 @@
+package wire
+
+// TCP transport: a compact binary protocol for running the server as a
+// standalone daemon (cmd/quickstored) with real clients over a socket.
+//
+// Request frame:  [u32 body-len][u8 op][u64 tid][u32 pid][u8 mode][payload]
+// Response frame: [u32 body-len][u8 status][payload]
+//
+// status 0 means success with result payload; otherwise the payload is an
+// error message and the status selects a sentinel so errors.Is works across
+// the wire for the errors callers branch on.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/lock"
+	"repro/internal/logrec"
+	"repro/internal/page"
+	"repro/internal/server"
+)
+
+// Op codes.
+const (
+	opBegin = iota + 1
+	opLock
+	opAllocPage
+	opReadPage
+	opShipLog
+	opShipPage
+	opCommit
+	opAbort
+)
+
+// Status codes.
+const (
+	stOK = iota
+	stError
+	stDeadlock
+	stNoTxn
+)
+
+// maxFrame bounds a frame body; pages plus headers fit comfortably.
+const maxFrame = 1 << 20
+
+type frame struct {
+	op      byte
+	tid     logrec.TID
+	pid     page.ID
+	mode    byte
+	payload []byte
+}
+
+func writeFrame(w io.Writer, head []byte, payload []byte) error {
+	var lenbuf [4]byte
+	binary.LittleEndian.PutUint32(lenbuf[:], uint32(len(head)+len(payload)))
+	if _, err := w.Write(lenbuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readBody(r io.Reader) ([]byte, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenbuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func writeRequest(w io.Writer, f frame) error {
+	var head [14]byte
+	head[0] = f.op
+	binary.LittleEndian.PutUint64(head[1:], uint64(f.tid))
+	binary.LittleEndian.PutUint32(head[9:], uint32(f.pid))
+	head[13] = f.mode
+	return writeFrame(w, head[:], f.payload)
+}
+
+func parseRequest(body []byte) (frame, error) {
+	if len(body) < 14 {
+		return frame{}, errors.New("wire: short request")
+	}
+	return frame{
+		op:      body[0],
+		tid:     logrec.TID(binary.LittleEndian.Uint64(body[1:])),
+		pid:     page.ID(binary.LittleEndian.Uint32(body[9:])),
+		mode:    body[13],
+		payload: body[14:],
+	}, nil
+}
+
+// Serve accepts connections on lis and dispatches requests to srv until the
+// listener is closed. Each connection gets its own server session and
+// goroutine, so multiple workstations can be served concurrently.
+func Serve(lis net.Listener, srv *server.Server) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, srv)
+	}
+}
+
+func serveConn(conn net.Conn, srv *server.Server) {
+	defer conn.Close()
+	sn := srv.NewSession(nil, nil)
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	// Transactions begun on this connection; a client crash (connection
+	// drop) aborts whatever is still active so its locks release and the
+	// server keeps serving other clients — the availability argument for
+	// server-side logs in §6 of the paper.
+	active := make(map[logrec.TID]bool)
+	defer func() {
+		for tid := range active {
+			sn.Abort(tid)
+		}
+	}()
+	for {
+		body, err := readBody(r)
+		if err != nil {
+			return // connection closed
+		}
+		f, err := parseRequest(body)
+		if err != nil {
+			return
+		}
+		status, payload := dispatch(sn, f)
+		if status == stOK {
+			switch f.op {
+			case opBegin:
+				active[logrec.TID(binary.LittleEndian.Uint64(payload))] = true
+			case opCommit, opAbort:
+				delete(active, f.tid)
+			}
+		}
+		if err := writeFrame(w, []byte{status}, payload); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func dispatch(sn *server.Session, f frame) (byte, []byte) {
+	fail := func(err error) (byte, []byte) {
+		switch {
+		case errors.Is(err, lock.ErrDeadlock):
+			return stDeadlock, []byte(err.Error())
+		case errors.Is(err, server.ErrNoTxn):
+			return stNoTxn, []byte(err.Error())
+		default:
+			return stError, []byte(err.Error())
+		}
+	}
+	switch f.op {
+	case opBegin:
+		tid := sn.Begin()
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], uint64(tid))
+		return stOK, out[:]
+	case opLock:
+		if err := sn.Lock(f.tid, f.pid, lock.Mode(f.mode)); err != nil {
+			return fail(err)
+		}
+		return stOK, nil
+	case opAllocPage:
+		pid, err := sn.AllocPage(f.tid)
+		if err != nil {
+			return fail(err)
+		}
+		var out [4]byte
+		binary.LittleEndian.PutUint32(out[:], uint32(pid))
+		return stOK, out[:]
+	case opReadPage:
+		data, err := sn.ReadPage(f.tid, f.pid, lock.Mode(f.mode))
+		if err != nil {
+			return fail(err)
+		}
+		return stOK, data
+	case opShipLog:
+		if err := sn.ShipLog(f.tid, f.payload); err != nil {
+			return fail(err)
+		}
+		return stOK, nil
+	case opShipPage:
+		if err := sn.ShipPage(f.tid, f.pid, f.payload); err != nil {
+			return fail(err)
+		}
+		return stOK, nil
+	case opCommit:
+		if err := sn.Commit(f.tid); err != nil {
+			return fail(err)
+		}
+		return stOK, nil
+	case opAbort:
+		if err := sn.Abort(f.tid); err != nil {
+			return fail(err)
+		}
+		return stOK, nil
+	default:
+		return stError, []byte(fmt.Sprintf("wire: unknown op %d", f.op))
+	}
+}
+
+// TCPClient is a Service over a TCP (or any stream) connection. Calls are
+// serialized; one client workstation issues one request at a time, as in the
+// paper's page-server protocol.
+type TCPClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a quickstored server.
+func Dial(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPClient(conn), nil
+}
+
+// NewTCPClient wraps an established connection.
+func NewTCPClient(conn net.Conn) *TCPClient {
+	return &TCPClient{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Close tears down the connection.
+func (c *TCPClient) Close() error { return c.conn.Close() }
+
+func (c *TCPClient) call(f frame) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeRequest(c.w, f); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	body, err := readBody(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 1 {
+		return nil, errors.New("wire: empty response")
+	}
+	status, payload := body[0], body[1:]
+	switch status {
+	case stOK:
+		return payload, nil
+	case stDeadlock:
+		return nil, fmt.Errorf("%w: %s", lock.ErrDeadlock, payload)
+	case stNoTxn:
+		return nil, fmt.Errorf("%w: %s", server.ErrNoTxn, payload)
+	default:
+		return nil, errors.New(string(payload))
+	}
+}
+
+// Begin implements Service.
+func (c *TCPClient) Begin() (logrec.TID, error) {
+	out, err := c.call(frame{op: opBegin})
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 8 {
+		return 0, errors.New("wire: bad Begin response")
+	}
+	return logrec.TID(binary.LittleEndian.Uint64(out)), nil
+}
+
+// Lock implements Service.
+func (c *TCPClient) Lock(tid logrec.TID, pid page.ID, mode lock.Mode) error {
+	_, err := c.call(frame{op: opLock, tid: tid, pid: pid, mode: byte(mode)})
+	return err
+}
+
+// AllocPage implements Service.
+func (c *TCPClient) AllocPage(tid logrec.TID) (page.ID, error) {
+	out, err := c.call(frame{op: opAllocPage, tid: tid})
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 4 {
+		return 0, errors.New("wire: bad AllocPage response")
+	}
+	return page.ID(binary.LittleEndian.Uint32(out)), nil
+}
+
+// ReadPage implements Service.
+func (c *TCPClient) ReadPage(tid logrec.TID, pid page.ID, mode lock.Mode) ([]byte, error) {
+	out, err := c.call(frame{op: opReadPage, tid: tid, pid: pid, mode: byte(mode)})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != page.Size {
+		return nil, fmt.Errorf("wire: ReadPage returned %d bytes", len(out))
+	}
+	return out, nil
+}
+
+// ShipLog implements Service.
+func (c *TCPClient) ShipLog(tid logrec.TID, data []byte) error {
+	_, err := c.call(frame{op: opShipLog, tid: tid, payload: data})
+	return err
+}
+
+// ShipPage implements Service.
+func (c *TCPClient) ShipPage(tid logrec.TID, pid page.ID, data []byte) error {
+	_, err := c.call(frame{op: opShipPage, tid: tid, pid: pid, payload: data})
+	return err
+}
+
+// Commit implements Service.
+func (c *TCPClient) Commit(tid logrec.TID) error {
+	_, err := c.call(frame{op: opCommit, tid: tid})
+	return err
+}
+
+// Abort implements Service.
+func (c *TCPClient) Abort(tid logrec.TID) error {
+	_, err := c.call(frame{op: opAbort, tid: tid})
+	return err
+}
+
+var _ Service = (*TCPClient)(nil)

@@ -1,0 +1,126 @@
+// Package wire defines the client↔server protocol: the Service interface the
+// client programs against, an in-process transport that charges network
+// costs to a meter (used by both real tests and the simulated testbed), and
+// a TCP transport for the standalone server.
+package wire
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/lock"
+	"repro/internal/logrec"
+	"repro/internal/page"
+	"repro/internal/server"
+)
+
+// Service is the storage server's RPC surface as seen by a client.
+type Service interface {
+	// Begin starts a transaction.
+	Begin() (logrec.TID, error)
+	// Lock acquires a page lock, blocking until granted.
+	Lock(tid logrec.TID, pid page.ID, mode lock.Mode) error
+	// AllocPage reserves a fresh page id, exclusively locked by tid.
+	AllocPage(tid logrec.TID) (page.ID, error)
+	// ReadPage fetches a page after acquiring the given lock.
+	ReadPage(tid logrec.TID, pid page.ID, mode lock.Mode) ([]byte, error)
+	// ShipLog delivers one page worth of encoded log records.
+	ShipLog(tid logrec.TID, data []byte) error
+	// ShipPage delivers a dirty page.
+	ShipPage(tid logrec.TID, pid page.ID, data []byte) error
+	// Commit commits the transaction (forcing the log at the server).
+	Commit(tid logrec.TID) error
+	// Abort rolls the transaction back.
+	Abort(tid logrec.TID) error
+}
+
+// Nominal per-message overheads used for network-cost accounting.
+const (
+	reqHeader  = 28 // op, tid, pid, mode, framing
+	respHeader = 12 // status, framing
+)
+
+// Direct is an in-process transport: calls go straight to a server session,
+// with message costs charged to the meter. With a NopMeter this is the
+// plain embedded configuration; with a SimMeter it models the paper's
+// Ethernet between a client workstation and the server.
+type Direct struct {
+	sn *server.Session
+	m  costmodel.Meter
+}
+
+// NewDirect connects to srv, charging server-side work and message transfers
+// to m (which may be nil for no accounting).
+func NewDirect(srv *server.Server, m costmodel.Meter, p *costmodel.Params) *Direct {
+	if m == nil {
+		m = costmodel.NopMeter{}
+	}
+	return &Direct{sn: srv.NewSession(m, p), m: m}
+}
+
+// Session exposes the underlying server session (tools, tests).
+func (d *Direct) Session() *server.Session { return d.sn }
+
+// Begin implements Service.
+func (d *Direct) Begin() (logrec.TID, error) {
+	d.m.MsgToServer(reqHeader)
+	tid := d.sn.Begin()
+	d.m.MsgToClient(respHeader + 8)
+	return tid, nil
+}
+
+// Lock implements Service.
+func (d *Direct) Lock(tid logrec.TID, pid page.ID, mode lock.Mode) error {
+	d.m.MsgToServer(reqHeader)
+	err := d.sn.Lock(tid, pid, mode)
+	d.m.MsgToClient(respHeader)
+	return err
+}
+
+// AllocPage implements Service.
+func (d *Direct) AllocPage(tid logrec.TID) (page.ID, error) {
+	d.m.MsgToServer(reqHeader)
+	pid, err := d.sn.AllocPage(tid)
+	d.m.MsgToClient(respHeader + 4)
+	return pid, err
+}
+
+// ReadPage implements Service.
+func (d *Direct) ReadPage(tid logrec.TID, pid page.ID, mode lock.Mode) ([]byte, error) {
+	d.m.MsgToServer(reqHeader)
+	data, err := d.sn.ReadPage(tid, pid, mode)
+	d.m.MsgToClient(respHeader + len(data))
+	return data, err
+}
+
+// ShipLog implements Service.
+func (d *Direct) ShipLog(tid logrec.TID, data []byte) error {
+	d.m.MsgToServer(reqHeader + len(data))
+	err := d.sn.ShipLog(tid, data)
+	d.m.MsgToClient(respHeader)
+	return err
+}
+
+// ShipPage implements Service.
+func (d *Direct) ShipPage(tid logrec.TID, pid page.ID, data []byte) error {
+	d.m.MsgToServer(reqHeader + len(data))
+	err := d.sn.ShipPage(tid, pid, data)
+	d.m.MsgToClient(respHeader)
+	return err
+}
+
+// Commit implements Service.
+func (d *Direct) Commit(tid logrec.TID) error {
+	d.m.MsgToServer(reqHeader)
+	err := d.sn.Commit(tid)
+	d.m.MsgToClient(respHeader)
+	return err
+}
+
+// Abort implements Service.
+func (d *Direct) Abort(tid logrec.TID) error {
+	d.m.MsgToServer(reqHeader)
+	err := d.sn.Abort(tid)
+	d.m.MsgToClient(respHeader)
+	return err
+}
+
+var _ Service = (*Direct)(nil)

@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/logrec"
+	"repro/internal/page"
+	"repro/internal/server"
+)
+
+func testServer(mode server.Mode) *server.Server {
+	return server.New(server.Config{
+		Mode:            mode,
+		PoolPages:       64,
+		LogCapacity:     16 << 20,
+		LockTimeout:     500 * time.Millisecond,
+		CheckpointEvery: 1 << 30,
+	})
+}
+
+// exerciseService runs the standard create/update/read protocol against any
+// Service implementation.
+func exerciseService(t *testing.T, svc Service) {
+	t.Helper()
+	tid, err := svc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := svc.AllocPage(tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := page.New(pid)
+	slot, _ := pg.Allocate(16)
+	pg.WriteAt(slot, 0, []byte("through the wire"))
+	img := logrec.NewPageImage(tid, pid, pg.Bytes())
+	if err := svc.ShipLog(tid, img.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ShipPage(tid, pid, pg.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Commit(tid); err != nil {
+		t.Fatal(err)
+	}
+
+	tid2, err := svc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := svc.ReadPage(tid2, pid, lock.Shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	if err := page.Wrap(data).ReadAt(slot, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("through the wire")) {
+		t.Fatalf("got %q", got)
+	}
+	if err := svc.Abort(tid2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectTransport(t *testing.T) {
+	srv := testServer(server.ModeESM)
+	exerciseService(t, NewDirect(srv, nil, nil))
+}
+
+func TestTCPTransport(t *testing.T) {
+	srv := testServer(server.ModeESM)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go Serve(lis, srv)
+	cli, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	exerciseService(t, cli)
+}
+
+func TestTCPErrorsCrossWire(t *testing.T) {
+	srv := testServer(server.ModeESM)
+	lis, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer lis.Close()
+	go Serve(lis, srv)
+	cli, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Unknown transaction sentinel survives the wire.
+	if err := cli.Commit(12345); !errors.Is(err, server.ErrNoTxn) {
+		t.Fatalf("err = %v, want ErrNoTxn", err)
+	}
+	// Deadlock sentinel survives the wire: two txns contending via a second
+	// connection.
+	cli2, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	t1, _ := cli.Begin()
+	t2, _ := cli2.Begin()
+	pid, _ := cli.AllocPage(t1)
+	pg := page.New(pid)
+	img := logrec.NewPageImage(t1, pid, pg.Bytes())
+	cli.ShipLog(t1, img.Encode(nil))
+	cli.ShipPage(t1, pid, pg.Bytes())
+	cli.Commit(t1)
+	t1b, _ := cli.Begin()
+	if err := cli.Lock(t1b, pid, lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli2.Lock(t2, pid, lock.Exclusive); !errors.Is(err, lock.ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv := testServer(server.ModeESM)
+	lis, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer lis.Close()
+	go Serve(lis, srv)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := Dial(lis.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < 10; i++ {
+				exerciseService(t, cli)
+			}
+		}()
+	}
+	wg.Wait()
+	if srv.Stats().Commits != 40 {
+		t.Fatalf("commits = %d", srv.Stats().Commits)
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	if _, err := readBody(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestClientCrashAbortsItsTransactions(t *testing.T) {
+	srv := testServer(server.ModeESM)
+	lis, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer lis.Close()
+	go Serve(lis, srv)
+
+	// Client A creates a page, then starts a transaction, locks the page
+	// exclusively, and crashes (drops the connection) without committing.
+	cliA, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, _ := cliA.Begin()
+	pid, _ := cliA.AllocPage(tid)
+	pg := page.New(pid)
+	slot, _ := pg.Allocate(8)
+	pg.WriteAt(slot, 0, []byte("original"))
+	img := logrec.NewPageImage(tid, pid, pg.Bytes())
+	cliA.ShipLog(tid, img.Encode(nil))
+	cliA.ShipPage(tid, pid, pg.Bytes())
+	if err := cliA.Commit(tid); err != nil {
+		t.Fatal(err)
+	}
+	tid2, _ := cliA.Begin()
+	if err := cliA.Lock(tid2, pid, lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	pg.WriteAt(slot, 0, []byte("halfdone"))
+	rec := logrec.NewUpdate(tid2, pid, 16, []byte("original"), []byte("halfdone"))
+	cliA.ShipLog(tid2, rec.Encode(nil))
+	cliA.Close() // crash: connection drops mid-transaction
+
+	// Client B must be able to lock the page (A's abort released it) and
+	// must see the committed value, not A's half-done update.
+	cliB, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliB.Close()
+	tidB, _ := cliB.Begin()
+	deadline := time.Now().Add(2 * time.Second)
+	var data []byte
+	for {
+		data, err = cliB.ReadPage(tidB, pid, lock.Exclusive)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lock never released after client crash: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got := make([]byte, 8)
+	page.Wrap(data).ReadAt(slot, 0, got)
+	if string(got) != "original" {
+		t.Fatalf("got %q, want the committed value", got)
+	}
+}

@@ -1,0 +1,289 @@
+package quickstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+var allSchemes = []Scheme{PDESM, SDESM, SLESM, PDREDO, WPL}
+
+func TestUpdateViewRoundTrip(t *testing.T) {
+	for _, sc := range allSchemes {
+		t.Run(sc.String(), func(t *testing.T) {
+			st, err := Open(Options{Scheme: sc, LogMB: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			var oid OID
+			if err := st.Update(func(tx *Tx) error {
+				var err error
+				oid, err = tx.Allocate(32)
+				if err != nil {
+					return err
+				}
+				return tx.Write(oid, 0, []byte("public api data"))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.View(func(tx *Tx) error {
+				got := make([]byte, 15)
+				if err := tx.Read(oid, 0, got); err != nil {
+					return err
+				}
+				if string(got) != "public api data" {
+					return fmt.Errorf("got %q", got)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUpdateErrorRollsBack(t *testing.T) {
+	st, _ := Open(Options{LogMB: 32})
+	defer st.Close()
+	var oid OID
+	st.Update(func(tx *Tx) error {
+		oid, _ = tx.Allocate(8)
+		return tx.Write(oid, 0, []byte("keepme!!"))
+	})
+	boom := errors.New("boom")
+	err := st.Update(func(tx *Tx) error {
+		tx.Write(oid, 0, []byte("discard!"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	st.View(func(tx *Tx) error {
+		got, _ := tx.ReadObject(oid)
+		if string(got) != "keepme!!" {
+			t.Fatalf("rollback failed: %q", got)
+		}
+		return nil
+	})
+}
+
+func TestViewChangesDiscarded(t *testing.T) {
+	st, _ := Open(Options{LogMB: 32})
+	defer st.Close()
+	var oid OID
+	st.Update(func(tx *Tx) error {
+		oid, _ = tx.Allocate(4)
+		return tx.Write(oid, 0, []byte("base"))
+	})
+	st.View(func(tx *Tx) error {
+		return tx.Write(oid, 0, []byte("temp"))
+	})
+	st.View(func(tx *Tx) error {
+		got, _ := tx.ReadObject(oid)
+		if string(got) != "base" {
+			t.Fatalf("view leaked a write: %q", got)
+		}
+		return nil
+	})
+}
+
+func TestCrashRecoveryThroughPublicAPI(t *testing.T) {
+	for _, sc := range allSchemes {
+		t.Run(sc.String(), func(t *testing.T) {
+			st, err := Open(Options{Scheme: sc, LogMB: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			var oid OID
+			st.Update(func(tx *Tx) error {
+				oid, _ = tx.Allocate(16)
+				return tx.Write(oid, 0, []byte("survives crashes"))
+			})
+			// Leave an uncommitted transaction hanging at crash time.
+			tx, _ := st.Begin()
+			tx.Write(oid, 0, []byte("uncommitted junk"))
+			if err := st.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			st.View(func(tx *Tx) error {
+				got, _ := tx.ReadObject(oid)
+				if string(got) != "survives crashes" {
+					t.Fatalf("got %q", got)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestFileBackedReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol")
+	st, err := Open(Options{Path: path, LogMB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oid OID
+	st.Update(func(tx *Tx) error {
+		oid, _ = tx.Allocate(8)
+		return tx.Write(oid, 0, []byte("ondisk!!"))
+	})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Options{Path: path, LogMB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := st2.View(func(tx *Tx) error {
+		got, err := tx.ReadObject(oid)
+		if err != nil {
+			return err
+		}
+		if string(got) != "ondisk!!" {
+			return fmt.Errorf("got %q", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteStoreOverTCP(t *testing.T) {
+	srv := server.New(server.Config{Mode: server.ModeESM, LogCapacity: 32 << 20, PoolPages: 256})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go wire.Serve(lis, srv)
+	st, err := Dial(lis.Addr().String(), Options{Scheme: PDESM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var oid OID
+	if err := st.Update(func(tx *Tx) error {
+		var err error
+		oid, err = tx.Allocate(16)
+		if err != nil {
+			return err
+		}
+		return tx.Write(oid, 0, []byte("remote quickstor"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A second client sees the committed data.
+	st2, err := Dial(lis.Addr().String(), Options{Scheme: PDESM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := st2.View(func(tx *Tx) error {
+		got, err := tx.ReadObject(oid)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, []byte("remote quickstor")) {
+			return fmt.Errorf("got %q", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Crash(); err == nil {
+		t.Fatal("Crash on remote store should fail")
+	}
+}
+
+func TestAllocateOnFreshPageClusters(t *testing.T) {
+	st, _ := Open(Options{LogMB: 32})
+	defer st.Close()
+	st.Update(func(tx *Tx) error {
+		a, err := tx.AllocateOnFreshPage(100)
+		if err != nil {
+			return err
+		}
+		b, _ := tx.Allocate(100) // same page
+		c, err := tx.AllocateOnFreshPage(100)
+		if err != nil {
+			return err
+		}
+		if a.Page != b.Page {
+			t.Errorf("a and b not clustered: %v %v", a, b)
+		}
+		if c.Page == a.Page {
+			t.Errorf("fresh page reused: %v %v", a, c)
+		}
+		return nil
+	})
+}
+
+func TestFreeThenRead(t *testing.T) {
+	st, _ := Open(Options{LogMB: 32})
+	defer st.Close()
+	var oid OID
+	st.Update(func(tx *Tx) error {
+		oid, _ = tx.Allocate(8)
+		return nil
+	})
+	st.Update(func(tx *Tx) error { return tx.Free(oid) })
+	err := st.View(func(tx *Tx) error {
+		_, err := tx.ReadObject(oid)
+		return err
+	})
+	if err == nil {
+		t.Fatal("read of freed object succeeded")
+	}
+}
+
+func TestSizeAndBounds(t *testing.T) {
+	st, _ := Open(Options{LogMB: 32})
+	defer st.Close()
+	st.Update(func(tx *Tx) error {
+		oid, _ := tx.Allocate(10)
+		n, err := tx.Size(oid)
+		if err != nil || n != 10 {
+			t.Errorf("Size = %d, %v", n, err)
+		}
+		if err := tx.Write(oid, 8, []byte("xyz")); err == nil {
+			t.Error("out-of-bounds write accepted")
+		}
+		if _, err := tx.Allocate(MaxObjectSize + 1); err == nil {
+			t.Error("oversized allocation accepted")
+		}
+		return nil
+	})
+}
+
+func TestStatsProgress(t *testing.T) {
+	st, _ := Open(Options{LogMB: 32})
+	defer st.Close()
+	st.Update(func(tx *Tx) error {
+		oid, _ := tx.Allocate(8)
+		return tx.Write(oid, 0, []byte{1})
+	})
+	s := st.Stats()
+	if s.Commits != 1 || s.Updates == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for _, sc := range allSchemes {
+		if sc.String() == "" || sc.String()[0] == 'S' && sc == PDESM {
+			t.Fatal("bad scheme string")
+		}
+	}
+	if _, err := Open(Options{Scheme: Scheme(42)}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
