@@ -1,0 +1,28 @@
+# Developer/CI entry points. `make check` is the gate: vet, build, the full
+# test suite under the race detector, and a short crash-point sweep smoke
+# (50 replayed crash points per recovery scheme; see DESIGN.md §8).
+
+GO ?= go
+
+.PHONY: check vet build test race sweep-smoke sweep-full
+
+check: vet build race sweep-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+sweep-smoke:
+	$(GO) test ./internal/harness/ -run TestSweepCrashPoints -count=1 -sweep.budget=50
+
+# Exhaustive: replay every enumerated crash point for all five schemes.
+sweep-full:
+	$(GO) test ./internal/harness/ -run TestSweepCrashPoints -count=1 -sweep.budget=-1 -v

@@ -5,6 +5,14 @@
 //	qsctl -addr localhost:7447 put "some bytes"   # prints the new OID
 //	qsctl -addr localhost:7447 get P7.0
 //	qsctl -addr localhost:7447 -n 100 bench
+//
+// It also manages fault injection on the daemon's data volume (the server
+// must be running; plans are deterministic per seed, so a failure seen under
+// `faults arm chaos -seed 7` reproduces under the same seed):
+//
+//	qsctl faults list                 # built-in plan names
+//	qsctl -seed 7 faults arm chaos    # arm a plan
+//	qsctl faults disarm
 package main
 
 import (
@@ -16,6 +24,8 @@ import (
 	"time"
 
 	quickstore "repro"
+	"repro/internal/faultinject"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -23,11 +33,19 @@ func main() {
 		addr   = flag.String("addr", "localhost:7447", "server address")
 		scheme = flag.String("scheme", "pd-esm", "client scheme: pd-esm|sd-esm|sl-esm|pd-redo|wpl")
 		n      = flag.Int("n", 100, "bench: transactions to run")
+		seed   = flag.Int64("seed", 1, "faults arm: fault plan seed")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench")
+		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench | faults arm <plan> | faults disarm | faults list")
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "faults" {
+		if err := faultsCmd(*addr, *seed, flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	sc, ok := map[string]quickstore.Scheme{
 		"pd-esm":  quickstore.PDESM,
@@ -99,6 +117,48 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// faultsCmd manages the daemon's fault-injection plan over the management op.
+func faultsCmd(addr string, seed int64, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: faults arm <plan> | faults disarm | faults list")
+	}
+	switch args[0] {
+	case "list":
+		for _, name := range faultinject.PlanNames() {
+			fmt.Println(name)
+		}
+		return nil
+	case "arm":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: faults arm <plan> (one of %v)", faultinject.PlanNames())
+		}
+		cli, err := wire.Dial(addr)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		name, err := cli.Faults(true, args[1], seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("armed plan %q with seed %d\n", name, seed)
+		return nil
+	case "disarm":
+		cli, err := wire.Dial(addr)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		if _, err := cli.Faults(false, "", 0); err != nil {
+			return err
+		}
+		fmt.Println("fault injection disarmed")
+		return nil
+	default:
+		return fmt.Errorf("unknown faults subcommand %q", args[0])
 	}
 }
 

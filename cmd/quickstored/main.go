@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"repro/internal/disk"
+	"repro/internal/faultinject"
 	"repro/internal/page"
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -51,14 +52,19 @@ func main() {
 		LogCapacity: *logMB << 20,
 	}
 	recover := false
+	var vol disk.Store = disk.NewMemStore()
 	if *data != "" {
 		fs, err := disk.OpenFileStore(*data)
 		if err != nil {
 			log.Fatalf("quickstored: opening volume: %v", err)
 		}
 		recover = fs.Pages() > 0
-		cfg.Store = fs
+		vol = fs
 	}
+	// The volume is always wrapped in the fault injector; it is transparent
+	// until a plan is armed (qsctl faults arm <plan>).
+	faults := faultinject.NewStore(vol)
+	cfg.Store = faults
 	srv := server.New(cfg)
 	if recover {
 		if err := srv.NewSession(nil, nil).Restart(); err != nil {
@@ -89,7 +95,7 @@ func main() {
 		os.Exit(0)
 	}()
 
-	if err := wire.Serve(lis, srv); err != nil {
+	if err := wire.ServeWith(lis, srv, wire.ServeOpts{Faults: faults}); err != nil {
 		log.Fatalf("quickstored: %v", err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/page"
 )
@@ -198,7 +199,10 @@ func (p *Pool) MarkClean(pid page.ID) error {
 	return nil
 }
 
-// DirtyPages returns the resident dirty page ids in no particular order.
+// DirtyPages returns the resident dirty page ids in ascending order. The
+// ordering matters for reproducibility: checkpoints and crash-flush paths
+// iterate this set, and the crash-point sweep requires the sequence of
+// stable-storage writes to be identical run to run.
 func (p *Pool) DirtyPages() []page.ID {
 	var out []page.ID
 	for pid, f := range p.frames {
@@ -206,6 +210,7 @@ func (p *Pool) DirtyPages() []page.ID {
 			out = append(out, pid)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -99,6 +99,11 @@ type Config struct {
 	Meter costmodel.Meter
 	// Params supplies service times for the meter; nil means defaults.
 	Params *costmodel.Params
+	// Retry, when MaxAttempts > 1, wraps the transport with bounded retry
+	// plus exponential backoff and jitter for transient transport faults
+	// (wire.WithRetry). After exhaustion operations return
+	// wire.ErrServerUnavailable.
+	Retry wire.RetryPolicy
 }
 
 // Stats counts client-side work. Figure 9/14 derive their page-write counts
@@ -155,6 +160,7 @@ func New(cfg Config, svc wire.Service) *Client {
 	if cfg.Params == nil {
 		cfg.Params = costmodel.Default1995()
 	}
+	svc = wire.WithRetry(svc, cfg.Retry) // no-op unless MaxAttempts > 1
 	c := &Client{
 		cfg:   cfg,
 		svc:   svc,

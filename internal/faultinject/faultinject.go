@@ -1,0 +1,166 @@
+// Package faultinject provides a deterministic, seed-driven fault-injection
+// substrate for crash-consistency testing. It wraps the two places where
+// state leaves a process — stable storage (disk.Store) and the client↔server
+// transport — and perturbs them according to a Plan: transient I/O errors,
+// torn page writes, write reordering, dropped/duplicated/delayed messages,
+// and connection resets mid-commit.
+//
+// Every decision is drawn from a seeded PRNG keyed only by the operation
+// sequence, so a given (plan, seed) pair produces the identical fault
+// schedule on every run: a failure reproduces from the printed seed alone.
+//
+// The package also provides the Fuse, the counting injector behind the
+// crash-point sweep (internal/harness): every stable-storage event (WAL
+// flush, data-page install) increments a shared counter, and once the
+// configured limit is reached all further events are swallowed, freezing
+// stable storage exactly as a crash at that instant would.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the base class of every injected fault; errors.Is(err,
+// ErrInjected) identifies a failure as synthetic. Injected faults are
+// transient by construction: retrying the operation (with a different
+// sequence number) may succeed.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrNotDelivered marks an injected transport fault where the request is
+// guaranteed never to have reached the server (a pre-delivery drop). Retry
+// layers may re-send even non-idempotent operations on this error; any other
+// transport failure leaves delivery ambiguous.
+var ErrNotDelivered = fmt.Errorf("%w: request not delivered", ErrInjected)
+
+// injected builds a classified injected error.
+func injected(kind string, seq uint64) error {
+	return fmt.Errorf("%w: %s (op %d)", ErrInjected, kind, seq)
+}
+
+// dropped builds an injected pre-delivery drop error.
+func dropped(seq uint64) error {
+	return fmt.Errorf("%w (op %d)", ErrNotDelivered, seq)
+}
+
+// rng is a splitmix64 generator: tiny, fast, and stable across Go versions
+// (math/rand's stream is not guaranteed between releases, and reproducibility
+// from a printed seed is the whole point of this package).
+type rng struct{ state uint64 }
+
+func newRNG(seed int64) *rng { return &rng{state: uint64(seed)*0x9e3779b97f4a7c15 + 1} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Plan describes a fault schedule. The zero value injects nothing. Rates are
+// probabilities in [0, 1] evaluated per operation against the seeded PRNG.
+type Plan struct {
+	Name string
+	Seed int64
+
+	// Disk faults (Store wrapper).
+	ReadErrorRate  float64 // ReadPage fails with a transient error
+	WriteErrorRate float64 // WritePage fails with a transient error
+	TornWriteRate  float64 // WritePage persists only a sector-aligned prefix, then fails
+	ReorderWindow  int     // buffer up to N writes and apply them in shuffled order
+
+	// Transport faults (Transport wrapper).
+	DropRate      float64       // request is never sent; caller sees a timeout-like error
+	DupRate       float64       // request is delivered twice (tests idempotence)
+	DelayRate     float64       // request is delayed by up to MaxDelay
+	MaxDelay      time.Duration // bound for injected delays (default 5 ms)
+	ResetOnCommit float64       // Commit is delivered, but the response is lost (connection reset)
+	StallCommit   time.Duration // every Commit stalls this long before delivery (stalled-peer tests)
+}
+
+// Plans returns the built-in named plans usable from qsctl ("qsctl faults
+// arm <name>") and tests. Names are stable.
+func Plans() map[string]Plan {
+	return map[string]Plan{
+		"eio":       {Name: "eio", ReadErrorRate: 0.05, WriteErrorRate: 0.05},
+		"torn":      {Name: "torn", TornWriteRate: 0.10},
+		"reorder":   {Name: "reorder", ReorderWindow: 8},
+		"flaky-net": {Name: "flaky-net", DropRate: 0.05, DupRate: 0.02, DelayRate: 0.10, MaxDelay: 2 * time.Millisecond},
+		"chaos": {Name: "chaos", ReadErrorRate: 0.02, WriteErrorRate: 0.02, TornWriteRate: 0.02,
+			DropRate: 0.02, DupRate: 0.01, DelayRate: 0.05, ResetOnCommit: 0.05},
+	}
+}
+
+// PlanNames returns the built-in plan names, sorted.
+func PlanNames() []string {
+	var names []string
+	for n := range Plans() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- crash-point fuse -------------------------------------------------------
+
+// Fuse counts stable-storage events and, once armed with a limit, swallows
+// every event past it. Events are numbered from 1; with limit L, events 1..L
+// take effect and L+1 onward are dropped, so stable storage afterwards holds
+// exactly the state a crash immediately after event L would have left.
+//
+// A limit below zero means count-only (nothing is ever swallowed) — the
+// enumeration pass of the crash-point sweep.
+type Fuse struct {
+	mu    sync.Mutex
+	count int64
+	limit int64
+	blown bool
+}
+
+// NewFuse returns a fuse with the given limit (<0 = count only).
+func NewFuse(limit int64) *Fuse { return &Fuse{limit: limit} }
+
+// Event records one stable-storage event and reports whether it may take
+// effect.
+func (f *Fuse) Event() (n int64, allowed bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.count++
+	if f.limit >= 0 && f.count > f.limit {
+		f.blown = true
+		return f.count, false
+	}
+	return f.count, true
+}
+
+// Count returns the number of events seen so far.
+func (f *Fuse) Count() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+// Blown reports whether any event has been swallowed.
+func (f *Fuse) Blown() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.blown
+}
+
+// Disarm stops the fuse from swallowing further events (recovery runs with
+// stable storage writable again).
+func (f *Fuse) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.limit = -1
+}

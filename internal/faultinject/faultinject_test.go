@@ -1,0 +1,273 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/lock"
+	"repro/internal/logrec"
+	"repro/internal/page"
+)
+
+// opTrace runs a fixed write/read sequence against a freshly armed store and
+// returns one byte per op recording whether it faulted.
+func opTrace(t *testing.T, plan Plan) []byte {
+	t.Helper()
+	st := NewStore(disk.NewMemStore())
+	st.Arm(plan)
+	var trace []byte
+	data := make([]byte, page.Size)
+	for i := 0; i < 200; i++ {
+		data[0] = byte(i)
+		werr := st.WritePage(page.ID(1+i%7), data)
+		rerr := st.ReadPage(page.ID(1+i%7), data)
+		b := byte(0)
+		if werr != nil {
+			if !errors.Is(werr, ErrInjected) {
+				t.Fatalf("op %d: non-injected write error: %v", i, werr)
+			}
+			b |= 1
+		}
+		if rerr != nil {
+			if !errors.Is(rerr, ErrInjected) {
+				t.Fatalf("op %d: non-injected read error: %v", i, rerr)
+			}
+			b |= 2
+		}
+		trace = append(trace, b)
+	}
+	return trace
+}
+
+// TestStoreScheduleDeterministic is the reproducibility contract: the same
+// (plan, seed) pair must produce the identical fault schedule, and a
+// different seed a different one.
+func TestStoreScheduleDeterministic(t *testing.T) {
+	for _, name := range []string{"eio", "torn", "chaos"} {
+		plan := Plans()[name]
+		plan.Seed = 42
+		a := opTrace(t, plan)
+		b := opTrace(t, plan)
+		if !bytes.Equal(a, b) {
+			t.Errorf("plan %q seed 42: two runs produced different fault schedules", name)
+		}
+		plan.Seed = 43
+		c := opTrace(t, plan)
+		if bytes.Equal(a, c) {
+			t.Errorf("plan %q: seeds 42 and 43 produced the identical schedule", name)
+		}
+	}
+}
+
+// TestTornWriteKeepsSectorPrefix checks the injected torn write: the store
+// must end up holding a sector-aligned prefix of the new data over the old.
+func TestTornWriteKeepsSectorPrefix(t *testing.T) {
+	inner := disk.NewMemStore()
+	st := NewStore(inner)
+	old := bytes.Repeat([]byte{0xAA}, page.Size)
+	if err := st.WritePage(3, old); err != nil {
+		t.Fatal(err)
+	}
+	st.Arm(Plan{Name: "always-torn", Seed: 7, TornWriteRate: 1})
+	neu := bytes.Repeat([]byte{0xBB}, page.Size)
+	if err := st.WritePage(3, neu); err == nil {
+		t.Fatal("torn write must report the injected error")
+	} else if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write error not classified as injected: %v", err)
+	}
+	got := make([]byte, page.Size)
+	if err := inner.ReadPage(3, got); err != nil {
+		t.Fatal(err)
+	}
+	cut := 0
+	for cut < page.Size && got[cut] == 0xBB {
+		cut++
+	}
+	if cut%SectorSize != 0 {
+		t.Errorf("torn boundary at byte %d is not sector-aligned", cut)
+	}
+	for i := cut; i < page.Size; i++ {
+		if got[i] != 0xAA {
+			t.Fatalf("byte %d is %#x, want the old contents past the torn boundary", i, got[i])
+		}
+	}
+}
+
+// TestReorderWindow checks that buffered writes are invisible to the inner
+// store, visible through the wrapper (the OS cache), applied when the window
+// fills, and lost on CrashDropPending.
+func TestReorderWindow(t *testing.T) {
+	inner := disk.NewMemStore()
+	st := NewStore(inner)
+	st.Arm(Plan{Name: "reorder", Seed: 1, ReorderWindow: 4})
+	data := make([]byte, page.Size)
+	buf := make([]byte, page.Size)
+	for i := 1; i <= 3; i++ {
+		data[0] = byte(i)
+		if err := st.WritePage(page.ID(i), data); err != nil {
+			t.Fatal(err)
+		}
+		if err := inner.ReadPage(page.ID(i), buf); err == nil {
+			t.Fatalf("page %d reached the inner store before the window filled", i)
+		}
+		if err := st.ReadPage(page.ID(i), buf); err != nil || buf[0] != byte(i) {
+			t.Fatalf("page %d not readable through the wrapper: %v %d", i, err, buf[0])
+		}
+	}
+	data[0] = 4
+	if err := st.WritePage(4, data); err != nil {
+		t.Fatal(err) // fourth write fills the window: all four flush
+	}
+	for i := 1; i <= 4; i++ {
+		if err := inner.ReadPage(page.ID(i), buf); err != nil {
+			t.Fatalf("page %d missing from the inner store after flush: %v", i, err)
+		}
+	}
+
+	data[0] = 5
+	if err := st.WritePage(5, data); err != nil {
+		t.Fatal(err)
+	}
+	st.CrashDropPending()
+	if err := inner.ReadPage(5, buf); err == nil {
+		t.Fatal("page 5 survived CrashDropPending")
+	}
+}
+
+// TestFuseSwallowsPastLimit checks the sweep's crash-instant semantics:
+// events up to the limit take effect, everything after silently does not.
+func TestFuseSwallowsPastLimit(t *testing.T) {
+	inner := disk.NewMemStore()
+	fuse := NewFuse(2)
+	st := NewSweepStore(inner, fuse)
+	data := make([]byte, page.Size)
+	buf := make([]byte, page.Size)
+	for i := 1; i <= 3; i++ {
+		data[0] = byte(i)
+		if err := st.WritePage(page.ID(i), data); err != nil {
+			t.Fatalf("write %d: %v (swallowed writes must report success)", i, err)
+		}
+	}
+	for i := 1; i <= 2; i++ {
+		if err := inner.ReadPage(page.ID(i), buf); err != nil {
+			t.Fatalf("write %d within the limit did not reach the store: %v", i, err)
+		}
+	}
+	if err := inner.ReadPage(3, buf); err == nil {
+		t.Fatal("write 3 took effect past the fuse limit")
+	}
+	if !fuse.Blown() || fuse.Count() != 3 {
+		t.Fatalf("fuse state blown=%v count=%d, want blown with 3 events", fuse.Blown(), fuse.Count())
+	}
+	fuse.Disarm()
+	if err := st.WritePage(3, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.ReadPage(3, buf); err != nil {
+		t.Fatal("disarmed fuse must let writes through again")
+	}
+}
+
+// fakeService records delivered calls; every op succeeds.
+type fakeService struct {
+	begins, locks, commits, ships int
+	nextTID                       logrec.TID
+}
+
+func (f *fakeService) Begin() (logrec.TID, error) {
+	f.begins++
+	f.nextTID++
+	return f.nextTID, nil
+}
+func (f *fakeService) Lock(logrec.TID, page.ID, lock.Mode) error { f.locks++; return nil }
+func (f *fakeService) AllocPage(logrec.TID) (page.ID, error)     { return 1, nil }
+func (f *fakeService) ReadPage(logrec.TID, page.ID, lock.Mode) ([]byte, error) {
+	return make([]byte, page.Size), nil
+}
+func (f *fakeService) ShipLog(logrec.TID, []byte) error           { f.ships++; return nil }
+func (f *fakeService) ShipPage(logrec.TID, page.ID, []byte) error { return nil }
+func (f *fakeService) Commit(logrec.TID) error                    { f.commits++; return nil }
+func (f *fakeService) Abort(logrec.TID) error                     { return nil }
+
+// transportTrace runs a fixed op sequence through a fresh flaky transport and
+// returns the per-op error pattern plus delivery counts.
+func transportTrace(seed int64) (trace []byte, delivered fakeService) {
+	plan := Plans()["flaky-net"]
+	plan.Seed = seed
+	tr := WrapTransport(&delivered, plan)
+	tr.Sleep = func(time.Duration) {} // injected delays: don't slow the test
+	for i := 0; i < 150; i++ {
+		var err error
+		switch i % 4 {
+		case 0:
+			_, err = tr.Begin()
+		case 1:
+			err = tr.Lock(1, page.ID(i), lock.Shared)
+		case 2:
+			err = tr.ShipLog(1, []byte{1, 2, 3})
+		case 3:
+			err = tr.Commit(1)
+		}
+		if err != nil {
+			trace = append(trace, 1)
+		} else {
+			trace = append(trace, 0)
+		}
+	}
+	return trace, delivered
+}
+
+// TestTransportDeterministic: same seed, same drops and deliveries.
+func TestTransportDeterministic(t *testing.T) {
+	a, da := transportTrace(9)
+	b, db := transportTrace(9)
+	if !bytes.Equal(a, b) || da != db {
+		t.Fatal("transport fault schedule not reproducible from the seed")
+	}
+	dropped := 0
+	for _, v := range a {
+		dropped += int(v)
+	}
+	if dropped == 0 {
+		t.Fatal("flaky-net plan injected no faults in 150 ops")
+	}
+	c, _ := transportTrace(10)
+	if bytes.Equal(a, c) {
+		t.Error("seeds 9 and 10 produced the identical transport schedule")
+	}
+}
+
+// TestTransportDropIsNotDelivered: a dropped request reports ErrNotDelivered
+// and really is not delivered — the guarantee the retry layer's commit
+// handling relies on.
+func TestTransportDropIsNotDelivered(t *testing.T) {
+	var inner fakeService
+	tr := WrapTransport(&inner, Plan{Name: "drop-all", Seed: 1, DropRate: 1})
+	tr.Sleep = func(time.Duration) {}
+	err := tr.Commit(1)
+	if !errors.Is(err, ErrNotDelivered) {
+		t.Fatalf("dropped commit returned %v, want ErrNotDelivered", err)
+	}
+	if inner.commits != 0 {
+		t.Fatal("dropped commit was delivered")
+	}
+}
+
+// TestTransportResetOnCommit: the commit is delivered but the response is
+// lost, so the caller sees an injected error it cannot distinguish from a
+// connection reset — while the transaction really committed.
+func TestTransportResetOnCommit(t *testing.T) {
+	var inner fakeService
+	tr := WrapTransport(&inner, Plan{Name: "reset", Seed: 1, ResetOnCommit: 1})
+	tr.Sleep = func(time.Duration) {}
+	err := tr.Commit(1)
+	if !errors.Is(err, ErrInjected) || errors.Is(err, ErrNotDelivered) {
+		t.Fatalf("reset-on-commit returned %v, want an injected (but delivered) fault", err)
+	}
+	if inner.commits != 1 {
+		t.Fatalf("commit delivered %d times, want 1", inner.commits)
+	}
+}

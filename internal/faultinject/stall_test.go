@@ -1,0 +1,70 @@
+package faultinject_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/lock"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// TestStalledPeerTriggersDeadlockTimeout injects a stalled peer: a client
+// whose commit is held up in the transport while its exclusive locks stay
+// granted. A second client waiting on one of those locks must come back with
+// lock.ErrDeadlock once the lock manager's wait bound expires — not block
+// until the peer recovers — and must succeed on retry after the stalled
+// commit finally lands and releases the locks.
+func TestStalledPeerTriggersDeadlockTimeout(t *testing.T) {
+	srv := server.New(server.Config{
+		Mode:        server.ModeESM,
+		PoolPages:   64,
+		LockTimeout: 30 * time.Millisecond,
+	})
+	peer := faultinject.WrapTransport(wire.NewDirect(srv, nil, nil), faultinject.Plan{
+		Name:        "stall",
+		Seed:        1,
+		StallCommit: 250 * time.Millisecond,
+	})
+	victim := wire.NewDirect(srv, nil, nil)
+
+	tidP, err := peer.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := peer.AllocPage(tidP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.Lock(tidP, pid, lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+
+	committed := make(chan error, 1)
+	go func() { committed <- peer.Commit(tidP) }() // stalls, locks held
+
+	tidV, err := victim.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = victim.Lock(tidV, pid, lock.Shared)
+	if !errors.Is(err, lock.ErrDeadlock) {
+		t.Fatalf("lock against the stalled peer returned %v, want lock.ErrDeadlock", err)
+	}
+	if waited := time.Since(start); waited > 200*time.Millisecond {
+		t.Fatalf("deadlock timeout took %v: the victim waited on the stalled peer itself", waited)
+	}
+
+	if err := <-committed; err != nil {
+		t.Fatalf("stalled commit eventually failed: %v", err)
+	}
+	if err := victim.Lock(tidV, pid, lock.Shared); err != nil {
+		t.Fatalf("lock retry after the peer's commit released its locks: %v", err)
+	}
+	if err := victim.Abort(tidV); err != nil {
+		t.Fatal(err)
+	}
+}

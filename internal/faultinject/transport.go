@@ -1,0 +1,151 @@
+package faultinject
+
+import (
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/logrec"
+	"repro/internal/page"
+)
+
+// Service mirrors wire.Service method-for-method. It is redeclared here (Go
+// interfaces are structural) so this package can wrap any transport without
+// importing internal/wire, which itself imports faultinject to classify
+// injected disk errors.
+type Service interface {
+	Begin() (logrec.TID, error)
+	Lock(tid logrec.TID, pid page.ID, mode lock.Mode) error
+	AllocPage(tid logrec.TID) (page.ID, error)
+	ReadPage(tid logrec.TID, pid page.ID, mode lock.Mode) ([]byte, error)
+	ShipLog(tid logrec.TID, data []byte) error
+	ShipPage(tid logrec.TID, pid page.ID, data []byte) error
+	Commit(tid logrec.TID) error
+	Abort(tid logrec.TID) error
+}
+
+// Transport wraps a Service with deterministic message-level faults:
+// dropped, duplicated and delayed requests, stalled or reset commits. One
+// client issues one request at a time (the page-server protocol), so the
+// wrapper is not synchronized.
+type Transport struct {
+	inner Service
+	plan  Plan
+	rng   *rng
+	seq   uint64
+	// Sleep is replaceable for tests; defaults to time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// WrapTransport wraps svc with plan's message faults.
+func WrapTransport(svc Service, plan Plan) *Transport {
+	if plan.MaxDelay == 0 {
+		plan.MaxDelay = 5 * time.Millisecond
+	}
+	return &Transport{inner: svc, plan: plan, rng: newRNG(plan.Seed), Sleep: time.Sleep}
+}
+
+// perturb applies the pre-delivery faults shared by all ops. It returns an
+// error if the message is dropped, and whether the request should be
+// delivered twice.
+func (t *Transport) perturb() (dup bool, err error) {
+	t.seq++
+	if t.plan.DropRate > 0 && t.rng.float() < t.plan.DropRate {
+		return false, dropped(t.seq)
+	}
+	if t.plan.DelayRate > 0 && t.rng.float() < t.plan.DelayRate {
+		t.Sleep(time.Duration(t.rng.float() * float64(t.plan.MaxDelay)))
+	}
+	return t.plan.DupRate > 0 && t.rng.float() < t.plan.DupRate, nil
+}
+
+// Begin implements Service.
+func (t *Transport) Begin() (logrec.TID, error) {
+	if _, err := t.perturb(); err != nil {
+		return 0, err
+	}
+	// A duplicated Begin would leak a transaction; deliver once regardless.
+	return t.inner.Begin()
+}
+
+// Lock implements Service.
+func (t *Transport) Lock(tid logrec.TID, pid page.ID, mode lock.Mode) error {
+	dup, err := t.perturb()
+	if err != nil {
+		return err
+	}
+	if dup {
+		t.inner.Lock(tid, pid, mode) // idempotent: re-granting is a no-op
+	}
+	return t.inner.Lock(tid, pid, mode)
+}
+
+// AllocPage implements Service.
+func (t *Transport) AllocPage(tid logrec.TID) (page.ID, error) {
+	if _, err := t.perturb(); err != nil {
+		return 0, err
+	}
+	return t.inner.AllocPage(tid)
+}
+
+// ReadPage implements Service.
+func (t *Transport) ReadPage(tid logrec.TID, pid page.ID, mode lock.Mode) ([]byte, error) {
+	dup, err := t.perturb()
+	if err != nil {
+		return nil, err
+	}
+	if dup {
+		t.inner.ReadPage(tid, pid, mode)
+	}
+	return t.inner.ReadPage(tid, pid, mode)
+}
+
+// ShipLog implements Service. Duplication is not injected: re-appending the
+// same client log records is a real protocol violation, not a transport
+// retry (the TCP stream either delivers a frame once or drops the
+// connection).
+func (t *Transport) ShipLog(tid logrec.TID, data []byte) error {
+	if _, err := t.perturb(); err != nil {
+		return err
+	}
+	return t.inner.ShipLog(tid, data)
+}
+
+// ShipPage implements Service.
+func (t *Transport) ShipPage(tid logrec.TID, pid page.ID, data []byte) error {
+	dup, err := t.perturb()
+	if err != nil {
+		return err
+	}
+	if dup {
+		t.inner.ShipPage(tid, pid, data) // same bytes twice: last write wins
+	}
+	return t.inner.ShipPage(tid, pid, data)
+}
+
+// Commit implements Service. StallCommit holds the request before delivery
+// (a stalled peer keeping its locks); ResetOnCommit delivers the commit but
+// loses the response, so the caller cannot know the outcome — the
+// connection-reset-mid-commit case.
+func (t *Transport) Commit(tid logrec.TID) error {
+	if _, err := t.perturb(); err != nil {
+		return err
+	}
+	if t.plan.StallCommit > 0 {
+		t.Sleep(t.plan.StallCommit)
+	}
+	if t.plan.ResetOnCommit > 0 && t.rng.float() < t.plan.ResetOnCommit {
+		t.inner.Commit(tid)
+		return injected("connection reset during commit", t.seq)
+	}
+	return t.inner.Commit(tid)
+}
+
+// Abort implements Service.
+func (t *Transport) Abort(tid logrec.TID) error {
+	if _, err := t.perturb(); err != nil {
+		return err
+	}
+	return t.inner.Abort(tid)
+}
+
+var _ Service = (*Transport)(nil)

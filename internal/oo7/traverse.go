@@ -188,3 +188,74 @@ func dfsAtomic(tx *client.Tx, part page.OID, isRoot bool, t Traversal, visited m
 	}
 	return nil
 }
+
+// CollectAtomicParts returns every atomic part reachable from the module's
+// composite parts, in deterministic order (composite parts in build order,
+// then the connection DFS). The crash-point sweep uses the list to drive
+// small targeted update transactions with a known expected final state.
+func CollectAtomicParts(c *client.Client, mod *Module) ([]page.OID, error) {
+	tx, err := c.Begin()
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Abort()
+	var out []page.OID
+	seen := make(map[page.OID]bool)
+	for _, cp := range mod.CompParts {
+		buf, err := tx.ReadObject(cp)
+		if err != nil {
+			return nil, err
+		}
+		if err := collectAtomic(tx, rdOID(buf, cpRootPart), seen, &out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// collectAtomic appends part and everything reachable through its
+// connections to out, depth first, skipping already-seen parts.
+func collectAtomic(tx *client.Tx, part page.OID, seen map[page.OID]bool, out *[]page.OID) error {
+	if seen[part] {
+		return nil
+	}
+	seen[part] = true
+	*out = append(*out, part)
+	buf, err := tx.ReadObject(part)
+	if err != nil {
+		return err
+	}
+	nconn := (len(buf) - apConns) / 8
+	for k := 0; k < nconn; k++ {
+		connOID := rdOID(buf, apConns+8*k)
+		if connOID.IsNil() {
+			continue
+		}
+		cbuf, err := tx.ReadObject(connOID)
+		if err != nil {
+			return err
+		}
+		if err := collectAtomic(tx, rdOID(cbuf, cnTo), seen, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StampXY writes (x, y) = (val, val) into the atomic part — the paper's
+// 8-byte update region — in one write.
+func StampXY(tx *client.Tx, part page.OID, val uint32) error {
+	var b [8]byte
+	wr32(b[:], 0, val)
+	wr32(b[:], 4, val)
+	return tx.Write(part, apX, b[:])
+}
+
+// ReadXY returns the atomic part's (x, y) attributes.
+func ReadXY(tx *client.Tx, part page.OID) (x, y uint32, err error) {
+	buf, err := tx.ReadObject(part)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rd32(buf, apX), rd32(buf, apY), nil
+}

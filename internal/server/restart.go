@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/lock"
 	"repro/internal/logrec"
@@ -148,6 +149,16 @@ func (s *Server) checkpointLocked(sn *Session) error {
 			c.wpl = append(c.wpl, ckptWPL{pid: e.pid, lsn: e.lsn, tid: e.tid, committed: e.committed})
 		}
 	}
+	// Map iteration is randomized; sort so the checkpoint record's bytes —
+	// and with them every later LSN — are identical run to run, which the
+	// crash-point sweep's reproducibility depends on.
+	sort.Slice(c.txns, func(i, j int) bool { return c.txns[i].tid < c.txns[j].tid })
+	sort.Slice(c.wpl, func(i, j int) bool {
+		if c.wpl[i].pid != c.wpl[j].pid {
+			return c.wpl[i].pid < c.wpl[j].pid
+		}
+		return c.wpl[i].lsn < c.wpl[j].lsn
+	})
 	rec := &logrec.Record{Type: logrec.TypeCheckpoint, PrevLSN: logrec.NoLSN, After: c.encode()}
 	ckptLSN, err := s.log.Append(rec)
 	if err != nil {
@@ -353,8 +364,14 @@ func (s *Server) ariesRestartLocked(sn *Session, ckpt *ckptPayload, start uint64
 			return redoErr
 		}
 	}
-	// Undo losers.
+	// Undo losers in TID order: undo appends CLRs, and their LSNs must be
+	// identical run to run (map iteration is randomized).
+	losers := make([]*txn, 0, len(att))
 	for _, t := range att {
+		losers = append(losers, t)
+	}
+	sort.Slice(losers, func(i, j int) bool { return losers[i].tid < losers[j].tid })
+	for _, t := range losers {
 		if err := s.undoLocked(sn, t, logrec.NoLSN); err != nil {
 			return err
 		}
@@ -420,8 +437,14 @@ func (s *Server) wplRestartLocked(sn *Session, ckpt *ckptPayload, start uint64) 
 		}
 	}
 	// Normal processing could resume here; install everything so the log can
-	// be reclaimed by the checkpoint that follows.
+	// be reclaimed by the checkpoint that follows. Installs run in page
+	// order for run-to-run reproducibility.
+	entries := make([]*wplEntry, 0, len(table))
 	for _, e := range table {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].pid < entries[j].pid })
+	for _, e := range entries {
 		rec, err := s.log.ReadAt(e.lsn)
 		if err != nil {
 			return fmt.Errorf("server: WPL restart install %v: %w", e.pid, err)

@@ -76,6 +76,10 @@ type Config struct {
 	LockTimeout time.Duration // lock wait bound; lock.DefaultTimeout if 0
 	// CheckpointEvery takes a checkpoint after this many commits (0 = 64).
 	CheckpointEvery int
+	// Log, when non-nil, is adopted instead of a freshly created log. The
+	// crash-point sweep uses this to restart a server over the surviving
+	// store and log of a crashed instance, as reopening the log disk would.
+	Log *wal.Log
 }
 
 // DefaultPoolPages is 36 MB of 8 KB frames, the paper's server memory.
@@ -98,6 +102,8 @@ type Stats struct {
 	Commits            int64
 	Aborts             int64
 	Checkpoints        int64
+	CheckpointsFailed  int64 // checkpoints abandoned on a disk error (retried later)
+	InstallsDeferred   int64 // WPL installs deferred on a disk error (page stays in the WPL table)
 	Restarts           int64
 }
 
@@ -153,10 +159,13 @@ func New(cfg Config) *Server {
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 64
 	}
+	if cfg.Log == nil {
+		cfg.Log = wal.New(cfg.LogCapacity)
+	}
 	s := &Server{
 		cfg:      cfg,
 		store:    cfg.Store,
-		log:      wal.New(cfg.LogCapacity),
+		log:      cfg.Log,
 		locks:    lock.NewManager(cfg.LockTimeout),
 		pool:     buffer.NewPool(cfg.PoolPages),
 		att:      make(map[logrec.TID]*txn),
@@ -337,8 +346,15 @@ func (s *Server) flushVictimLocked(sn *Session, v *buffer.Frame) error {
 			return nil
 		}
 		if e := s.wpl[pid]; e != nil && e.committed {
-			// Committed but not yet installed: install now.
-			return s.installLocked(sn, e, v.Bytes())
+			// Committed but not yet installed: install now. If the data disk
+			// rejects the write (injected or real), the committed image still
+			// lives in the log and the WPL table entry is retained, so reads
+			// reload it from there until a later install succeeds — degrade,
+			// don't fail the eviction.
+			if err := s.installLocked(sn, e, v.Bytes()); err != nil {
+				s.stats.InstallsDeferred++
+			}
+			return nil
 		}
 		return nil
 	}
@@ -547,7 +563,15 @@ func (sn *Session) Commit(tid logrec.TID) error {
 	s.mu.Unlock()
 	s.locks.ReleaseAll(tid)
 	if due {
-		return sn.Checkpoint()
+		if err := sn.Checkpoint(); err != nil {
+			// The commit record is forced; the transaction is durable. A
+			// checkpoint is maintenance — on a disk error (injected or real)
+			// abandon it and let a later commit retry, rather than reporting
+			// a failed commit for a committed transaction.
+			s.mu.Lock()
+			s.stats.CheckpointsFailed++
+			s.mu.Unlock()
+		}
 	}
 	return nil
 }
@@ -579,7 +603,12 @@ func (s *Server) wplCommitLocked(sn *Session, t *txn) error {
 				s.stats.WPLLogReloads++
 			}
 			if err := s.installLocked(sn, head, img); err != nil {
-				return err
+				// The commit record is already forced: the transaction is
+				// durable regardless of this install. Keep the committed
+				// entry (its log copy remains the authoritative version) and
+				// retry at eviction or restart instead of failing the commit.
+				s.stats.InstallsDeferred++
+				continue
 			}
 			if f := s.pool.Peek(pid); f != nil {
 				s.pool.MarkClean(pid)

@@ -40,6 +40,10 @@ type Log struct {
 	next     uint64 // next LSN to assign
 	forces   int64
 	pages    int64 // cumulative 8 KB log pages physically written
+	// limiter, when set, intercepts every flush (fault injection): it may
+	// clamp how far the stable end actually advances, down to not at all.
+	limiter   func(proposed uint64) uint64
+	truncGate func() bool
 }
 
 // DefaultCapacity is the log size used when Config.Capacity is zero: 256 MB,
@@ -100,21 +104,56 @@ func (l *Log) readRing(at uint64, b []byte) {
 	}
 }
 
+// SetFlushLimiter installs fn, called (with the log lock held) on every
+// flush that would advance the stable end; the proposed new stable end is
+// passed in and the value fn returns — clamped to [flushed, proposed] —
+// becomes the actual stable end. The crash-point sweep uses this both to
+// enumerate WAL-flush boundaries and to freeze the log at a chosen crash
+// instant; returning a value mid-record injects a partial (torn) WAL-sector
+// write. A nil fn removes the limiter.
+func (l *Log) SetFlushLimiter(fn func(proposed uint64) uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.limiter = fn
+}
+
+// advanceFlushed moves the stable end toward proposed, consulting the flush
+// limiter, and returns the number of 8 KB log pages written. Caller holds
+// l.mu.
+func (l *Log) advanceFlushed(proposed uint64) int {
+	if proposed <= l.flushed {
+		return 0
+	}
+	if l.limiter != nil {
+		p := l.limiter(proposed)
+		if p < l.flushed {
+			p = l.flushed
+		}
+		if p > proposed {
+			p = proposed
+		}
+		proposed = p
+		if proposed == l.flushed {
+			return 0
+		}
+	}
+	first := l.flushed / page.Size
+	last := (proposed - 1) / page.Size
+	l.flushed = proposed
+	return int(last - first + 1)
+}
+
 // Force makes every appended record stable and returns the number of 8 KB
 // log pages physically written, so callers can charge the log disk. A force
 // that has nothing to flush writes no pages.
 func (l *Log) Force() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.flushed == l.next {
-		return 0
+	n := l.advanceFlushed(l.next)
+	if n > 0 {
+		l.forces++
+		l.pages += int64(n)
 	}
-	first := l.flushed / page.Size
-	last := (l.next - 1) / page.Size
-	n := int(last - first + 1)
-	l.flushed = l.next
-	l.forces++
-	l.pages += int64(n)
 	return n
 }
 
@@ -129,19 +168,60 @@ func (l *Log) ForceFull() int {
 	if boundary <= l.flushed {
 		return 0
 	}
-	first := l.flushed / page.Size
-	last := (boundary - 1) / page.Size
-	n := int(last - first + 1)
-	l.flushed = boundary
+	n := l.advanceFlushed(boundary)
 	l.pages += int64(n)
 	return n
 }
 
-// Crash discards the volatile tail, as a server failure would.
+// Crash discards the volatile tail, as a server failure would, and then
+// repositions the log end at the last whole-record boundary at or below the
+// stable end. The trim matters when the durability boundary fell mid-record
+// (page-grained flushing, or an injected partial sector write): without it,
+// records appended after restart would begin part-way through the torn
+// record's surviving prefix, and a scan after a second crash would read that
+// stale prefix followed by unrelated bytes — corruption it could not tell
+// from the real thing. The torn record may span the circular log's wrap
+// point (its prefix at the end of the ring, its lost tail at the start);
+// trimming by walking record boundaries from the head handles the linear and
+// wrapped cases identically, because LSNs never wrap even though ring
+// positions do.
 func (l *Log) Crash() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.next = l.flushed
+	l.trimTornLocked()
+}
+
+// trimTornLocked walks record boundaries from the head and truncates the log
+// end at the last record wholly contained in the stable region. Caller holds
+// l.mu.
+func (l *Log) trimTornLocked() {
+	lsn := l.head
+	for lsn+logrec.HeaderSize <= l.flushed {
+		var hdr [logrec.HeaderSize]byte
+		l.readRing(lsn, hdr[:])
+		total := uint64(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+		if total < logrec.HeaderSize || lsn+total > l.flushed {
+			break
+		}
+		lsn += total
+	}
+	l.next, l.flushed = lsn, lsn
+}
+
+// SetTruncateGate installs fn, called (with the log lock held) whenever
+// Truncate would advance the head. Advancing the head is a stable write in
+// its own right — a real log persists its head pointer, or reclamation would
+// not survive restart — so the crash-point sweep counts each advance as a
+// crash point and, past the chosen point, swallows it: the head stays put,
+// exactly as if the process died before the pointer write reached disk.
+// Without this, a checkpoint cut by the fuse could reclaim log space its
+// never-durable checkpoint record was supposed to cover, and restart would
+// find the previous checkpoint truncated away. A nil fn removes the gate.
+func (l *Log) SetTruncateGate(fn func() bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.truncGate = fn
 }
 
 // Truncate reclaims log space below newHead, which must be a record boundary
@@ -154,6 +234,12 @@ func (l *Log) Truncate(newHead uint64) error {
 	}
 	if newHead > l.flushed {
 		return fmt.Errorf("wal: truncate beyond stable end (%d > %d)", newHead, l.flushed)
+	}
+	if newHead == l.head {
+		return nil
+	}
+	if l.truncGate != nil && !l.truncGate() {
+		return nil // swallowed: the head-pointer write never reached disk
 	}
 	l.head = newHead
 	return nil
@@ -235,6 +321,13 @@ func (l *Log) readAtLocked(lsn uint64) (*logrec.Record, error) {
 	l.readRing(lsn, buf)
 	r, _, err := logrec.Decode(buf)
 	if err != nil {
+		// A record whose extent reaches the stable end and fails its CRC is
+		// the surviving prefix of a torn write (possibly spanning the ring's
+		// wrap point), not corruption in the middle of the log: report it as
+		// a torn tail so scans stop cleanly instead of failing recovery.
+		if lsn+uint64(total) >= l.flushed {
+			return nil, fmt.Errorf("%w: %v at LSN %d", ErrTorn, err, lsn)
+		}
 		return nil, fmt.Errorf("wal: record at LSN %d: %w", lsn, err)
 	}
 	return r, nil

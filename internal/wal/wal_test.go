@@ -305,3 +305,102 @@ func TestUsedAndCapacity(t *testing.T) {
 		t.Fatalf("used after truncate = %d", l.Used())
 	}
 }
+
+// TestFlushLimiterClampsStableEnd exercises the fault-injection hook: a
+// limiter can hold the stable end back entirely, and removing it restores
+// normal flushing.
+func TestFlushLimiterClampsStableEnd(t *testing.T) {
+	l := New(1 << 20)
+	l.SetFlushLimiter(func(proposed uint64) uint64 { return 0 }) // clamped up to flushed
+	lsn, _ := l.Append(upd(1, 1, 64))
+	if n := l.Force(); n != 0 {
+		t.Fatalf("frozen force wrote %d pages", n)
+	}
+	if l.StableEnd() != lsn {
+		t.Fatalf("stable end moved to %d under frozen limiter", l.StableEnd())
+	}
+	l.SetFlushLimiter(nil)
+	if n := l.Force(); n != 1 {
+		t.Fatalf("force after limiter removal wrote %d pages, want 1", n)
+	}
+	if l.StableEnd() != l.End() {
+		t.Fatalf("stable end %d != end %d after force", l.StableEnd(), l.End())
+	}
+}
+
+// TestTornRecordAcrossWrapPoint is the regression test for a torn record
+// spanning the circular log's wrap point: its surviving prefix sits at the
+// end of the ring and its lost tail would have landed at the start. Crash
+// must seal the log at the record's start so that (a) the scan sees a clean
+// end of log and (b) post-restart appends begin on a whole-record boundary —
+// previously a second crash left a stale header followed by new bytes, which
+// a scan read as mid-log corruption.
+func TestTornRecordAcrossWrapPoint(t *testing.T) {
+	const cap = 4 * page.Size
+	l := New(cap)
+
+	// March the log end toward the wrap point, reclaiming as we go.
+	filler := upd(1, 1, 700)
+	wrap := upd(2, 2, 1000)
+	wrapSize := uint64(wrap.EncodedSize())
+	for l.End()%cap+wrapSize <= cap {
+		if _, err := l.Append(filler); err != nil {
+			t.Fatal(err)
+		}
+		l.Force()
+		if err := l.Truncate(l.StableEnd()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lsn, err := l.Append(wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn%cap+wrapSize <= cap {
+		t.Fatalf("test construction: record at %d (ring %d, %d bytes) does not wrap",
+			lsn, lsn%cap, wrapSize)
+	}
+
+	// Injected partial write: the flush stops mid-record, past the header.
+	cut := lsn + logrec.HeaderSize + 100
+	l.SetFlushLimiter(func(proposed uint64) uint64 { return cut })
+	l.Force()
+	l.SetFlushLimiter(nil)
+	if l.StableEnd() != cut {
+		t.Fatalf("stable end = %d, want cut %d", l.StableEnd(), cut)
+	}
+
+	l.Crash()
+	if l.End() != lsn || l.StableEnd() != lsn {
+		t.Fatalf("crash sealed log at end=%d stable=%d, want torn record start %d",
+			l.End(), l.StableEnd(), lsn)
+	}
+	count := 0
+	if err := l.Scan(l.Head(), func(*logrec.Record) bool { count++; return true }); err != nil {
+		t.Fatalf("scan over wrapped torn tail errored: %v", err)
+	}
+	if count != 0 {
+		t.Fatalf("scanned %d records past a wrapped torn tail", count)
+	}
+
+	// Appends after restart reuse the reclaimed space from a record boundary;
+	// a second crash must leave a scannable log containing the new record.
+	r2 := upd(3, 3, 16)
+	lsn2, err := l.Append(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn2 != lsn {
+		t.Fatalf("post-crash append at %d, want sealed boundary %d", lsn2, lsn)
+	}
+	l.Force()
+	l.Crash()
+	var got []*logrec.Record
+	if err := l.Scan(l.Head(), func(r *logrec.Record) bool { got = append(got, r); return true }); err != nil {
+		t.Fatalf("scan after second crash errored: %v", err)
+	}
+	if len(got) != 1 || got[0].TID != 3 || got[0].Page != 3 {
+		t.Fatalf("scan after second crash read %d records %v, want the one post-crash record", len(got), got)
+	}
+}

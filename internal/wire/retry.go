@@ -1,0 +1,217 @@
+package wire
+
+// Bounded retry with exponential backoff and jitter for transient transport
+// faults (dropped messages, broken connections, injected network errors).
+//
+// Retries are applied per operation. Commit is special: once a commit
+// request may have reached the server, a transport failure makes the outcome
+// genuinely ambiguous — the server commits and aborts-on-disconnect are both
+// possible, and a blind re-send that draws ErrNoTxn cannot tell them apart.
+// WithRetry therefore re-sends a Commit only when the failure guarantees the
+// request was never delivered (an injected pre-delivery drop); otherwise it
+// surfaces ErrCommitOutcomeUnknown and the application decides whether to
+// verify by re-reading.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/lock"
+	"repro/internal/logrec"
+	"repro/internal/page"
+	"repro/internal/server"
+)
+
+// ErrServerUnavailable is returned once a retried operation has exhausted
+// its attempt budget; errors.Is(err, ErrServerUnavailable) identifies it.
+var ErrServerUnavailable = errors.New("wire: server unavailable")
+
+// ErrCommitOutcomeUnknown is returned when a Commit failed in transit after
+// the request may have been delivered: the transaction may be durably
+// committed or aborted by the server's disconnect handling.
+var ErrCommitOutcomeUnknown = errors.New("wire: commit outcome unknown")
+
+// RetryPolicy bounds and shapes retries. The zero value disables retrying
+// (a single attempt); any MaxAttempts > 1 enables it.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts per operation (including the first)
+	BaseDelay   time.Duration // backoff before the second attempt (default 2ms)
+	MaxDelay    time.Duration // backoff ceiling (default 250ms)
+	Jitter      float64       // fraction of each delay drawn uniformly at random, in [0,1]
+	Seed        int64         // jitter PRNG seed, for reproducible schedules
+	// Sleep is replaceable for tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// retrier wraps a Service with RetryPolicy semantics. One client issues one
+// request at a time (the page-server protocol), so it is unsynchronized.
+type retrier struct {
+	inner Service
+	pol   RetryPolicy
+	// splitmix64 jitter source: reproducible from Seed across Go versions.
+	rngState uint64
+}
+
+// WithRetry wraps svc so every operation is attempted up to
+// pol.MaxAttempts times on transient transport errors, with exponential
+// backoff and jitter between attempts. A pol.MaxAttempts of 0 or 1 returns
+// svc unchanged.
+func WithRetry(svc Service, pol RetryPolicy) Service {
+	if pol.MaxAttempts <= 1 {
+		return svc
+	}
+	if pol.BaseDelay == 0 {
+		pol.BaseDelay = 2 * time.Millisecond
+	}
+	if pol.MaxDelay == 0 {
+		pol.MaxDelay = 250 * time.Millisecond
+	}
+	if pol.Sleep == nil {
+		pol.Sleep = time.Sleep
+	}
+	return &retrier{inner: svc, pol: pol, rngState: uint64(pol.Seed)*0x9e3779b97f4a7c15 + 1}
+}
+
+// transient reports whether err is worth retrying: transport-level failures
+// only. Application-level errors (deadlock, unknown transaction, a
+// server-side fault that aborted the transaction) must surface immediately.
+func transient(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, lock.ErrDeadlock),
+		errors.Is(err, server.ErrNoTxn),
+		errors.Is(err, ErrTxnAbortedByFault):
+		return false
+	case errors.Is(err, faultinject.ErrInjected):
+		return true // injected drop/reset/transient error
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, net.ErrClosed):
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr)
+}
+
+func (c *retrier) jitterNext() float64 {
+	c.rngState += 0x9e3779b97f4a7c15
+	z := c.rngState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return float64((z^(z>>31))>>11) / (1 << 53)
+}
+
+// backoff sleeps before retry attempt n (n = 1 before the second attempt).
+func (c *retrier) backoff(n int) {
+	d := c.pol.BaseDelay << (n - 1)
+	if d > c.pol.MaxDelay || d <= 0 {
+		d = c.pol.MaxDelay
+	}
+	if c.pol.Jitter > 0 {
+		f := 1 - c.pol.Jitter*c.jitterNext()
+		d = time.Duration(float64(d) * f)
+	}
+	c.pol.Sleep(d)
+}
+
+// Re-send policies: idempotent operations retry on any transient failure;
+// operations with server-side effects that must not be duplicated re-send
+// only when the failure guarantees non-delivery.
+const (
+	resendAlways        = iota // idempotent
+	resendIfUndelivered        // surface ambiguous failures unchanged (ShipLog)
+	resendCommit               // surface ambiguous failures as ErrCommitOutcomeUnknown
+)
+
+// do runs op under the retry loop with the given re-send policy.
+func (c *retrier) do(policy int, op func() error) error {
+	var err error
+	for n := 0; n < c.pol.MaxAttempts; n++ {
+		if n > 0 {
+			c.backoff(n)
+		}
+		err = op()
+		if !transient(err) {
+			return err
+		}
+		if policy != resendAlways && !errors.Is(err, faultinject.ErrNotDelivered) {
+			if policy == resendCommit {
+				return fmt.Errorf("%w: %v", ErrCommitOutcomeUnknown, err)
+			}
+			return err
+		}
+	}
+	return fmt.Errorf("%w: %d attempts, last error: %v", ErrServerUnavailable, c.pol.MaxAttempts, err)
+}
+
+// Begin implements Service.
+func (c *retrier) Begin() (logrec.TID, error) {
+	var tid logrec.TID
+	err := c.do(resendAlways, func() error {
+		var e error
+		tid, e = c.inner.Begin()
+		return e
+	})
+	return tid, err
+}
+
+// Lock implements Service.
+func (c *retrier) Lock(tid logrec.TID, pid page.ID, mode lock.Mode) error {
+	return c.do(resendAlways, func() error { return c.inner.Lock(tid, pid, mode) })
+}
+
+// AllocPage implements Service.
+func (c *retrier) AllocPage(tid logrec.TID) (page.ID, error) {
+	var pid page.ID
+	err := c.do(resendAlways, func() error {
+		var e error
+		pid, e = c.inner.AllocPage(tid)
+		return e
+	})
+	return pid, err
+}
+
+// ReadPage implements Service.
+func (c *retrier) ReadPage(tid logrec.TID, pid page.ID, mode lock.Mode) ([]byte, error) {
+	var data []byte
+	err := c.do(resendAlways, func() error {
+		var e error
+		data, e = c.inner.ReadPage(tid, pid, mode)
+		return e
+	})
+	return data, err
+}
+
+// ShipLog implements Service. Re-sending a log batch whose delivery status
+// is unknown would double-append records, so like Commit it is re-sent only
+// on guaranteed-undelivered failures; otherwise the error surfaces and the
+// client aborts the transaction.
+func (c *retrier) ShipLog(tid logrec.TID, data []byte) error {
+	return c.do(resendIfUndelivered, func() error { return c.inner.ShipLog(tid, data) })
+}
+
+// ShipPage implements Service (idempotent: same bytes, last write wins).
+func (c *retrier) ShipPage(tid logrec.TID, pid page.ID, data []byte) error {
+	return c.do(resendAlways, func() error { return c.inner.ShipPage(tid, pid, data) })
+}
+
+// Commit implements Service; see the package comment for the ambiguity rule.
+func (c *retrier) Commit(tid logrec.TID) error {
+	return c.do(resendCommit, func() error { return c.inner.Commit(tid) })
+}
+
+// Abort implements Service. An abort that draws ErrNoTxn after a transport
+// failure already happened server-side (disconnect handling aborts active
+// transactions), which is the outcome the caller wanted.
+func (c *retrier) Abort(tid logrec.TID) error {
+	err := c.do(resendAlways, func() error { return c.inner.Abort(tid) })
+	if errors.Is(err, server.ErrNoTxn) {
+		return nil
+	}
+	return err
+}
+
+var _ Service = (*retrier)(nil)

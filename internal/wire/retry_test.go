@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/lock"
+	"repro/internal/logrec"
+	"repro/internal/page"
+	"repro/internal/server"
+)
+
+// scriptedService fails each operation with the scripted errors in order,
+// then succeeds, counting delivered attempts.
+type scriptedService struct {
+	errs  []error // consumed one per call, any op
+	calls int
+}
+
+func (s *scriptedService) step() error {
+	s.calls++
+	if len(s.errs) > 0 {
+		err := s.errs[0]
+		s.errs = s.errs[1:]
+		return err
+	}
+	return nil
+}
+
+func (s *scriptedService) Begin() (logrec.TID, error)                { return 1, s.step() }
+func (s *scriptedService) Lock(logrec.TID, page.ID, lock.Mode) error { return s.step() }
+func (s *scriptedService) AllocPage(logrec.TID) (page.ID, error)     { return 1, s.step() }
+func (s *scriptedService) ReadPage(logrec.TID, page.ID, lock.Mode) ([]byte, error) {
+	return make([]byte, page.Size), s.step()
+}
+func (s *scriptedService) ShipLog(logrec.TID, []byte) error           { return s.step() }
+func (s *scriptedService) ShipPage(logrec.TID, page.ID, []byte) error { return s.step() }
+func (s *scriptedService) Commit(logrec.TID) error                    { return s.step() }
+func (s *scriptedService) Abort(logrec.TID) error                     { return s.step() }
+
+func retryPolicy(maxAttempts int, sleeps *[]time.Duration) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: maxAttempts,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    16 * time.Millisecond,
+		Jitter:      0.5,
+		Seed:        1,
+		Sleep:       func(d time.Duration) { *sleeps = append(*sleeps, d) },
+	}
+}
+
+func TestWithRetryDisabledReturnsSameService(t *testing.T) {
+	svc := &scriptedService{}
+	if WithRetry(svc, RetryPolicy{}) != Service(svc) {
+		t.Fatal("zero policy must not wrap")
+	}
+	if WithRetry(svc, RetryPolicy{MaxAttempts: 1}) != Service(svc) {
+		t.Fatal("single-attempt policy must not wrap")
+	}
+}
+
+func TestRetryRecoversFromTransientErrors(t *testing.T) {
+	var sleeps []time.Duration
+	svc := &scriptedService{errs: []error{io.EOF, io.ErrUnexpectedEOF}}
+	r := WithRetry(svc, retryPolicy(5, &sleeps))
+	if err := r.Lock(1, 1, lock.Shared); err != nil {
+		t.Fatalf("lock after two transient failures: %v", err)
+	}
+	if svc.calls != 3 {
+		t.Fatalf("delivered %d attempts, want 3", svc.calls)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("%d backoff sleeps, want 2", len(sleeps))
+	}
+	for i, d := range sleeps {
+		lo := time.Duration(float64(2*time.Millisecond<<i) * 0.5)
+		hi := 2 * time.Millisecond << i
+		if d < lo || d > hi {
+			t.Errorf("sleep %d = %v outside jittered window [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+func TestRetryExhaustionReturnsServerUnavailable(t *testing.T) {
+	var sleeps []time.Duration
+	svc := &scriptedService{errs: []error{io.EOF, io.EOF, io.EOF, io.EOF}}
+	r := WithRetry(svc, retryPolicy(3, &sleeps))
+	err := r.Lock(1, 1, lock.Shared)
+	if !errors.Is(err, ErrServerUnavailable) {
+		t.Fatalf("err = %v, want ErrServerUnavailable", err)
+	}
+	if svc.calls != 3 {
+		t.Fatalf("delivered %d attempts, want exactly MaxAttempts", svc.calls)
+	}
+}
+
+func TestRetryDoesNotRetryApplicationErrors(t *testing.T) {
+	for _, appErr := range []error{lock.ErrDeadlock, server.ErrNoTxn, ErrTxnAbortedByFault} {
+		var sleeps []time.Duration
+		svc := &scriptedService{errs: []error{appErr}}
+		r := WithRetry(svc, retryPolicy(5, &sleeps))
+		if err := r.Lock(1, 1, lock.Shared); !errors.Is(err, appErr) {
+			t.Fatalf("err = %v, want %v unchanged", err, appErr)
+		}
+		if svc.calls != 1 {
+			t.Fatalf("%v: delivered %d attempts, want 1 (no retry)", appErr, svc.calls)
+		}
+	}
+}
+
+func TestCommitAmbiguousFailureIsNotResent(t *testing.T) {
+	var sleeps []time.Duration
+	svc := &scriptedService{errs: []error{io.EOF}} // delivery state unknown
+	r := WithRetry(svc, retryPolicy(5, &sleeps))
+	err := r.Commit(1)
+	if !errors.Is(err, ErrCommitOutcomeUnknown) {
+		t.Fatalf("err = %v, want ErrCommitOutcomeUnknown", err)
+	}
+	if svc.calls != 1 {
+		t.Fatalf("ambiguously failed commit was re-sent (%d attempts)", svc.calls)
+	}
+}
+
+func TestCommitResentWhenGuaranteedUndelivered(t *testing.T) {
+	var sleeps []time.Duration
+	svc := &scriptedService{errs: []error{faultinject.ErrNotDelivered, faultinject.ErrNotDelivered}}
+	r := WithRetry(svc, retryPolicy(5, &sleeps))
+	if err := r.Commit(1); err != nil {
+		t.Fatalf("commit after two undelivered drops: %v", err)
+	}
+	if svc.calls != 3 {
+		t.Fatalf("delivered %d attempts, want 3", svc.calls)
+	}
+}
+
+func TestShipLogAmbiguousFailureSurfacesRaw(t *testing.T) {
+	var sleeps []time.Duration
+	svc := &scriptedService{errs: []error{io.EOF}}
+	r := WithRetry(svc, retryPolicy(5, &sleeps))
+	err := r.ShipLog(1, []byte{1})
+	if !errors.Is(err, io.EOF) || errors.Is(err, ErrCommitOutcomeUnknown) || errors.Is(err, ErrServerUnavailable) {
+		t.Fatalf("err = %v, want the raw transport error (a re-send would double-append)", err)
+	}
+	if svc.calls != 1 {
+		t.Fatalf("ambiguously failed ShipLog was re-sent (%d attempts)", svc.calls)
+	}
+}
+
+func TestAbortTreatsNoTxnAsDone(t *testing.T) {
+	var sleeps []time.Duration
+	svc := &scriptedService{errs: []error{server.ErrNoTxn}}
+	r := WithRetry(svc, retryPolicy(5, &sleeps))
+	if err := r.Abort(1); err != nil {
+		t.Fatalf("abort drawing ErrNoTxn must succeed (server already aborted): %v", err)
+	}
+}
+
+func TestRetryBackoffDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		var sleeps []time.Duration
+		svc := &scriptedService{errs: []error{io.EOF, io.EOF, io.EOF, io.EOF}}
+		WithRetry(svc, retryPolicy(5, &sleeps)).Lock(1, 1, lock.Shared)
+		return sleeps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("sleep counts differ between identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sleep %d: %v vs %v — jitter not reproducible from the seed", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRetryOverFlakyTransport runs the full protocol through an injected
+// flaky transport: with a retry budget the client must make progress despite
+// deterministic drops, because drops are guaranteed-undelivered.
+func TestRetryOverFlakyTransport(t *testing.T) {
+	srv := testServer(server.ModeESM)
+	flaky := faultinject.WrapTransport(NewDirect(srv, nil, nil), faultinject.Plan{
+		Name: "drops", Seed: 3, DropRate: 0.3,
+	})
+	flaky.Sleep = func(time.Duration) {}
+	var sleeps []time.Duration
+	svc := WithRetry(flaky, retryPolicy(10, &sleeps))
+	for i := 0; i < 5; i++ {
+		exerciseService(t, svc)
+	}
+	if got := srv.Stats().Commits; got != 5 {
+		t.Fatalf("commits = %d, want 5", got)
+	}
+	if len(sleeps) == 0 {
+		t.Fatal("a 30%% drop rate over 5 rounds injected no retries; the test exercised nothing")
+	}
+}
+
+// TestTCPClientRedialsAfterBrokenConnection: a Dial-created client whose
+// socket dies must fail the in-flight call, then transparently reconnect on
+// the next one — the property WithRetry relies on for fresh-socket attempts.
+func TestTCPClientRedialsAfterBrokenConnection(t *testing.T) {
+	srv := testServer(server.ModeESM)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go Serve(lis, srv)
+	cli, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	cli.mu.Lock()
+	cli.conn.Close() // kill the socket out from under the client
+	cli.mu.Unlock()
+	if _, err := cli.Begin(); err == nil {
+		t.Fatal("call over the killed socket must fail")
+	}
+	if _, err := cli.Begin(); err != nil {
+		t.Fatalf("client did not redial after the broken connection: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/lock"
 	"repro/internal/logrec"
 	"repro/internal/page"
@@ -35,6 +36,7 @@ const (
 	opShipPage
 	opCommit
 	opAbort
+	opFaults // arm/disarm a fault plan (management, not part of Service)
 )
 
 // Status codes.
@@ -43,7 +45,14 @@ const (
 	stError
 	stDeadlock
 	stNoTxn
+	stFaultAbort // a disk fault hit this request; the transaction was aborted
 )
+
+// ErrTxnAbortedByFault is the client-side form of stFaultAbort: the server
+// hit a (typically injected) disk error serving this transaction and
+// aborted it rather than failing the process. Not retryable — the
+// transaction is gone; the application starts a new one.
+var ErrTxnAbortedByFault = errors.New("wire: transaction aborted after server disk fault")
 
 // maxFrame bounds a frame body; pages plus headers fit comfortably.
 const maxFrame = 1 << 20
@@ -107,20 +116,32 @@ func parseRequest(body []byte) (frame, error) {
 	}, nil
 }
 
+// ServeOpts configures optional server-side transport features.
+type ServeOpts struct {
+	// Faults, when non-nil, lets clients arm and disarm fault plans on the
+	// daemon's data volume through the opFaults management op (qsctl faults).
+	Faults *faultinject.Store
+}
+
 // Serve accepts connections on lis and dispatches requests to srv until the
 // listener is closed. Each connection gets its own server session and
 // goroutine, so multiple workstations can be served concurrently.
 func Serve(lis net.Listener, srv *server.Server) error {
+	return ServeWith(lis, srv, ServeOpts{})
+}
+
+// ServeWith is Serve with options.
+func ServeWith(lis net.Listener, srv *server.Server, opts ServeOpts) error {
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
 			return err
 		}
-		go serveConn(conn, srv)
+		go serveConn(conn, srv, opts)
 	}
 }
 
-func serveConn(conn net.Conn, srv *server.Server) {
+func serveConn(conn net.Conn, srv *server.Server, opts ServeOpts) {
 	defer conn.Close()
 	sn := srv.NewSession(nil, nil)
 	r := bufio.NewReaderSize(conn, 64<<10)
@@ -144,12 +165,27 @@ func serveConn(conn net.Conn, srv *server.Server) {
 		if err != nil {
 			return
 		}
-		status, payload := dispatch(sn, f)
-		if status == stOK {
+		var status byte
+		var payload []byte
+		if f.op == opFaults {
+			status, payload = handleFaults(opts.Faults, f.payload)
+		} else {
+			status, payload = dispatch(sn, f)
+		}
+		switch status {
+		case stOK:
 			switch f.op {
 			case opBegin:
 				active[logrec.TID(binary.LittleEndian.Uint64(payload))] = true
 			case opCommit, opAbort:
+				delete(active, f.tid)
+			}
+		case stFaultAbort:
+			// Graceful degradation: a disk fault failed this request, not the
+			// process. Abort the affected transaction so its locks release
+			// and every other client keeps running.
+			if active[f.tid] {
+				sn.Abort(f.tid)
 				delete(active, f.tid)
 			}
 		}
@@ -162,6 +198,34 @@ func serveConn(conn net.Conn, srv *server.Server) {
 	}
 }
 
+// handleFaults serves the opFaults management op. Payload: [u8 arm][i64
+// seed][plan name]; response payload is the name of the plan now armed, or
+// empty when disarmed.
+func handleFaults(fs *faultinject.Store, payload []byte) (byte, []byte) {
+	if fs == nil {
+		return stError, []byte("wire: fault injection not enabled on this server")
+	}
+	if len(payload) < 9 {
+		return stError, []byte("wire: short faults request")
+	}
+	arm := payload[0] == 1
+	if !arm {
+		if err := fs.Disarm(); err != nil {
+			return stError, []byte(err.Error())
+		}
+		return stOK, nil
+	}
+	seed := int64(binary.LittleEndian.Uint64(payload[1:9]))
+	name := string(payload[9:])
+	plan, ok := faultinject.Plans()[name]
+	if !ok {
+		return stError, []byte(fmt.Sprintf("wire: unknown fault plan %q (have %v)", name, faultinject.PlanNames()))
+	}
+	plan.Seed = seed
+	fs.Arm(plan)
+	return stOK, []byte(plan.Name)
+}
+
 func dispatch(sn *server.Session, f frame) (byte, []byte) {
 	fail := func(err error) (byte, []byte) {
 		switch {
@@ -169,6 +233,8 @@ func dispatch(sn *server.Session, f frame) (byte, []byte) {
 			return stDeadlock, []byte(err.Error())
 		case errors.Is(err, server.ErrNoTxn):
 			return stNoTxn, []byte(err.Error())
+		case errors.Is(err, faultinject.ErrInjected):
+			return stFaultAbort, []byte(err.Error())
 		default:
 			return stError, []byte(err.Error())
 		}
@@ -225,9 +291,13 @@ func dispatch(sn *server.Session, f frame) (byte, []byte) {
 
 // TCPClient is a Service over a TCP (or any stream) connection. Calls are
 // serialized; one client workstation issues one request at a time, as in the
-// paper's page-server protocol.
+// paper's page-server protocol. A client created by Dial remembers its
+// address and transparently reconnects on the next call after a broken
+// connection, so a retry layer above it (WithRetry) gets a fresh socket per
+// attempt; a client wrapped around a raw connection cannot redial.
 type TCPClient struct {
 	mu   sync.Mutex
+	addr string // non-empty when created by Dial: enables redial
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
@@ -239,7 +309,9 @@ func Dial(addr string) (*TCPClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewTCPClient(conn), nil
+	c := NewTCPClient(conn)
+	c.addr = addr
+	return c, nil
 }
 
 // NewTCPClient wraps an established connection.
@@ -252,19 +324,52 @@ func NewTCPClient(conn net.Conn) *TCPClient {
 }
 
 // Close tears down the connection.
-func (c *TCPClient) Close() error { return c.conn.Close() }
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// dropConnLocked discards a connection after a transport error so the next
+// call redials instead of reusing a stream with unknown framing state.
+func (c *TCPClient) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
 
 func (c *TCPClient) call(f frame) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.conn == nil {
+		if c.addr == "" {
+			return nil, fmt.Errorf("%w: connection closed", net.ErrClosed)
+		}
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return nil, err
+		}
+		c.conn = conn
+		c.r = bufio.NewReaderSize(conn, 64<<10)
+		c.w = bufio.NewWriterSize(conn, 64<<10)
+	}
 	if err := writeRequest(c.w, f); err != nil {
+		c.dropConnLocked()
 		return nil, err
 	}
 	if err := c.w.Flush(); err != nil {
+		c.dropConnLocked()
 		return nil, err
 	}
 	body, err := readBody(c.r)
 	if err != nil {
+		c.dropConnLocked()
 		return nil, err
 	}
 	if len(body) < 1 {
@@ -278,9 +383,26 @@ func (c *TCPClient) call(f frame) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", lock.ErrDeadlock, payload)
 	case stNoTxn:
 		return nil, fmt.Errorf("%w: %s", server.ErrNoTxn, payload)
+	case stFaultAbort:
+		return nil, fmt.Errorf("%w: %s", ErrTxnAbortedByFault, payload)
 	default:
 		return nil, errors.New(string(payload))
 	}
+}
+
+// Faults arms the named built-in fault plan with the given seed on the
+// server (arm=true), or disarms injection (arm=false). It returns the name
+// of the armed plan. The server must have been started with fault injection
+// enabled (ServeOpts.Faults).
+func (c *TCPClient) Faults(arm bool, name string, seed int64) (string, error) {
+	payload := make([]byte, 9+len(name))
+	if arm {
+		payload[0] = 1
+	}
+	binary.LittleEndian.PutUint64(payload[1:9], uint64(seed))
+	copy(payload[9:], name)
+	out, err := c.call(frame{op: opFaults, payload: payload})
+	return string(out), err
 }
 
 // Begin implements Service.

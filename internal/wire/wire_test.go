@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"net"
 	"sync"
@@ -218,5 +219,141 @@ func TestClientCrashAbortsItsTransactions(t *testing.T) {
 	page.Wrap(data).ReadAt(slot, 0, got)
 	if string(got) != "original" {
 		t.Fatalf("got %q, want the committed value", got)
+	}
+}
+
+// rawSession speaks the wire protocol over a bare connection so tests can
+// cut it off mid-frame.
+type rawSession struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func dialRaw(t *testing.T, addr string) *rawSession {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rawSession{t: t, conn: conn}
+}
+
+func (s *rawSession) call(f frame) []byte {
+	s.t.Helper()
+	if err := writeRequest(s.conn, f); err != nil {
+		s.t.Fatal(err)
+	}
+	body, err := readBody(s.conn)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	if body[0] != stOK {
+		s.t.Fatalf("op %d: status %d: %s", f.op, body[0], body[1:])
+	}
+	return body[1:]
+}
+
+// setupMidCommit drives a raw connection to the point where a transaction
+// with one un-committed update ("halfdone" over the committed "original") is
+// ready to commit, and returns everything needed to finish the story.
+func setupMidCommit(t *testing.T, addr string) (s *rawSession, tid logrec.TID, pid page.ID, slot int) {
+	t.Helper()
+	s = dialRaw(t, addr)
+	tid = logrec.TID(binary.LittleEndian.Uint64(s.call(frame{op: opBegin})))
+	pid = page.ID(binary.LittleEndian.Uint32(s.call(frame{op: opAllocPage, tid: tid})))
+	pg := page.New(pid)
+	slot, _ = pg.Allocate(8)
+	pg.WriteAt(slot, 0, []byte("original"))
+	img := logrec.NewPageImage(tid, pid, pg.Bytes())
+	s.call(frame{op: opShipLog, tid: tid, payload: img.Encode(nil)})
+	s.call(frame{op: opShipPage, tid: tid, pid: pid, payload: pg.Bytes()})
+	s.call(frame{op: opCommit, tid: tid})
+
+	tid = logrec.TID(binary.LittleEndian.Uint64(s.call(frame{op: opBegin})))
+	s.call(frame{op: opLock, tid: tid, pid: pid, mode: byte(lock.Exclusive)})
+	rec := logrec.NewUpdate(tid, pid, page.HeaderSize, []byte("original"), []byte("halfdone"))
+	s.call(frame{op: opShipLog, tid: tid, payload: rec.Encode(nil)})
+	pg.WriteAt(slot, 0, []byte("halfdone"))
+	s.call(frame{op: opShipPage, tid: tid, pid: pid, payload: pg.Bytes()})
+	return s, tid, pid, slot
+}
+
+// awaitValue polls until the page's lock is released, then returns its value.
+func awaitValue(t *testing.T, addr string, pid page.ID, slot int) string {
+	t.Helper()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	tid, _ := cli.Begin()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		data, err := cli.ReadPage(tid, pid, lock.Exclusive)
+		if err == nil {
+			got := make([]byte, 8)
+			page.Wrap(data).ReadAt(slot, 0, got)
+			return string(got)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lock never released: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestConnectionResetMidCommitFrame: the connection dies after only part of
+// the commit request reached the server. The commit must not happen, the
+// transaction must be aborted (locks released), and the committed value must
+// survive.
+func TestConnectionResetMidCommitFrame(t *testing.T) {
+	srv := testServer(server.ModeESM)
+	lis, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer lis.Close()
+	go Serve(lis, srv)
+
+	s, tid, pid, slot := setupMidCommit(t, lis.Addr().String())
+	var buf bytes.Buffer
+	if err := writeRequest(&buf, frame{op: opCommit, tid: tid}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.conn.Write(buf.Bytes()[:10]); err != nil { // 18-byte frame, cut at 10
+		t.Fatal(err)
+	}
+	s.conn.Close() // reset mid-frame
+
+	if got := awaitValue(t, lis.Addr().String(), pid, slot); got != "original" {
+		t.Fatalf("got %q after a torn commit request, want the committed value", got)
+	}
+	if c := srv.Stats().Commits; c != 1 {
+		t.Fatalf("commits = %d: a half-delivered commit request was executed", c)
+	}
+}
+
+// TestConnectionResetAfterCommitFrame: the whole commit request reached the
+// server but the connection died before the response. The transaction is
+// durably committed (this is the ambiguity ErrCommitOutcomeUnknown reports)
+// and its locks release.
+func TestConnectionResetAfterCommitFrame(t *testing.T) {
+	srv := testServer(server.ModeESM)
+	lis, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer lis.Close()
+	go Serve(lis, srv)
+
+	s, tid, pid, slot := setupMidCommit(t, lis.Addr().String())
+	if err := writeRequest(s.conn, frame{op: opCommit, tid: tid}); err != nil {
+		t.Fatal(err)
+	}
+	// Half-close (FIN after the frame) so the request is guaranteed delivered;
+	// a full close could RST and discard it from the server's receive buffer
+	// before it is read. The client never reads the response.
+	s.conn.(*net.TCPConn).CloseWrite()
+	defer s.conn.Close()
+
+	if got := awaitValue(t, lis.Addr().String(), pid, slot); got != "halfdone" {
+		t.Fatalf("got %q after a delivered commit, want the new value", got)
+	}
+	if c := srv.Stats().Commits; c != 2 {
+		t.Fatalf("commits = %d, want 2 (the delivered commit must execute)", c)
 	}
 }
