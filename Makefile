@@ -1,12 +1,14 @@
 # Developer/CI entry points. `make check` is the gate: vet, build, the full
-# test suite under the race detector, and a short crash-point sweep smoke
-# (50 replayed crash points per recovery scheme; see DESIGN.md §8).
+# test suite under the race detector, a short crash-point sweep smoke
+# (50 replayed crash points per recovery scheme; see DESIGN.md §8), the
+# concurrent-server tests under -race, and the 2-client group-commit sweep
+# smoke (DESIGN.md §9).
 
 GO ?= go
 
-.PHONY: check vet build test race sweep-smoke sweep-full
+.PHONY: check vet build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke bench-commit
 
-check: vet build race sweep-smoke
+check: vet build race sweep-smoke race-concurrent group-sweep-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,3 +28,18 @@ sweep-smoke:
 # Exhaustive: replay every enumerated crash point for all five schemes.
 sweep-full:
 	$(GO) test ./internal/harness/ -run TestSweepCrashPoints -count=1 -sweep.budget=-1 -v
+
+# The concurrency surface (group commit, sharded pool sessions, async WPL
+# installer, parallel redo) under the race detector.
+race-concurrent:
+	$(GO) test -race ./internal/server/ -run 'TestConcurrent|TestGroupCommit|TestWPLAsync|TestParallelRedo' -count=1
+
+# 2-client group-commit crash sweep: every record-boundary cut between group
+# formation and the stable flush, one scheme, under -race.
+group-sweep-smoke:
+	$(GO) test -race ./internal/harness/ -run TestGroupCommitSweepSmoke -count=1
+
+# Multi-client commit-throughput benchmark: serialized baseline vs group
+# commit, per scheme, writing BENCH_commit.json.
+bench-commit:
+	$(GO) run ./cmd/benchcommit -out BENCH_commit.json

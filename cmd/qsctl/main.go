@@ -13,9 +13,16 @@
 //	qsctl faults list                 # built-in plan names
 //	qsctl -seed 7 faults arm chaos    # arm a plan
 //	qsctl faults disarm
+//
+// And it reports the daemon's server-side counters (group-commit batching,
+// buffer-pool and latch behaviour, restart redo utilization):
+//
+//	qsctl stats            # human-readable counter summary
+//	qsctl stats -json      # raw JSON (server.StatsX)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,11 +44,18 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench | faults arm <plan> | faults disarm | faults list")
+		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench | stats [-json] | faults arm <plan> | faults disarm | faults list")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "faults" {
 		if err := faultsCmd(*addr, *seed, flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.Arg(0) == "stats" {
+		if err := statsCmd(*addr, flag.Args()[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
 			os.Exit(1)
 		}
@@ -160,6 +174,62 @@ func faultsCmd(addr string, seed int64, args []string) error {
 	default:
 		return fmt.Errorf("unknown faults subcommand %q", args[0])
 	}
+}
+
+// statsCmd fetches and prints the daemon's extended counters.
+func statsCmd(addr string, args []string) error {
+	asJSON := len(args) == 1 && args[0] == "-json"
+	if len(args) > 0 && !asJSON {
+		return fmt.Errorf("usage: stats [-json]")
+	}
+	cli, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	x, err := cli.ServerStats()
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		out, err := json.MarshalIndent(x, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	gc := x.GroupCommit
+	fmt.Printf("transactions     commits=%d aborts=%d checkpoints=%d restarts=%d\n",
+		x.Commits, x.Aborts, x.Checkpoints, x.Restarts)
+	fmt.Printf("log              forces=%d pages_written=%d records_applied=%d\n",
+		x.LogForces, x.LogPagesWritten, x.LogRecordsApplied)
+	fmt.Printf("group commit     commits=%d batches=%d flushes_avoided=%d",
+		gc.Commits, gc.Batches, gc.FlushesAvoided)
+	if gc.Batches > 0 {
+		fmt.Printf(" mean_batch=%.2f", float64(gc.Commits)/float64(gc.Batches))
+	}
+	fmt.Println()
+	fmt.Printf("  batch sizes    ")
+	for i, n := range gc.BatchSizes {
+		if n == 0 {
+			continue
+		}
+		label := fmt.Sprintf("%d", i)
+		if i == len(gc.BatchSizes)-1 {
+			label += "+"
+		}
+		fmt.Printf("[%s]=%d ", label, n)
+	}
+	fmt.Println()
+	fmt.Printf("buffer pool      hits=%d misses=%d latch_contention=%d\n",
+		x.PoolHits, x.PoolMisses, x.LatchContention)
+	fmt.Printf("lock manager     waits=%d\n", x.LockWaits)
+	fmt.Printf("data disk        reads=%d writes=%d\n", x.DataReads, x.DataWrites)
+	if x.RedoWorkers > 0 {
+		fmt.Printf("restart redo     workers=%d applied=%v\n", x.RedoWorkers, x.RedoApplied)
+	}
+	return nil
 }
 
 // parseOID parses the P<page>.<slot> form printed by OID.String.

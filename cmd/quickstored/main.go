@@ -30,6 +30,10 @@ func main() {
 		data    = flag.String("data", "", "data volume file (empty = in-memory)")
 		cacheMB = flag.Int("cache", 36, "server buffer pool (MB)")
 		logMB   = flag.Int("log", 256, "transaction log capacity (MB)")
+		gcDelay = flag.Duration("gcdelay", 0, "group-commit max batch delay (0 = batch without delay, <0 = disable group commit)")
+		shards  = flag.Int("shards", 0, "buffer pool latch shards (0 = default)")
+		serial  = flag.Bool("serialize", false, "serialize all sessions on one mutex (pre-group-commit behaviour)")
+		wplSync = flag.Bool("wpl-sync-install", false, "wpl: install committed pages inline at commit instead of in the background")
 	)
 	flag.Parse()
 
@@ -47,9 +51,13 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Mode:        m,
-		PoolPages:   *cacheMB << 20 / page.Size,
-		LogCapacity: *logMB << 20,
+		Mode:             m,
+		PoolPages:        *cacheMB << 20 / page.Size,
+		LogCapacity:      *logMB << 20,
+		PoolShards:       *shards,
+		Serialize:        *serial,
+		GroupCommitDelay: *gcDelay,
+		WPLInstallAsync:  !*wplSync,
 	}
 	recover := false
 	var vol disk.Store = disk.NewMemStore()
@@ -86,6 +94,7 @@ func main() {
 	go func() {
 		<-sig
 		log.Printf("shutting down: checkpointing")
+		srv.Close() // drain the WPL install worker before the final checkpoint
 		if err := srv.NewSession(nil, nil).Checkpoint(); err != nil {
 			log.Printf("checkpoint failed: %v", err)
 		}

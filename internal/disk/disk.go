@@ -81,6 +81,19 @@ func (s *MemStore) Pages() int {
 // Close implements Store.
 func (s *MemStore) Close() error { return nil }
 
+// Clone returns an independent deep copy of the store, including the
+// superblock page. The crash sweeps snapshot a frozen volume this way and
+// run each candidate recovery against its own copy.
+func (s *MemStore) Clone() *MemStore {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewMemStore()
+	for id, data := range s.pages {
+		c.pages[id] = append([]byte(nil), data...)
+	}
+	return c
+}
+
 // FileStore is a Store backed by a single flat file; page id n lives at byte
 // offset n*page.Size. A bitmap of written pages is kept in memory and
 // rebuilt lazily: reading an all-zero, never-written page returns

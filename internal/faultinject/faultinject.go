@@ -157,6 +157,16 @@ func (f *Fuse) Blown() bool {
 	return f.blown
 }
 
+// Trip freezes the fuse at the current count: every later event is
+// swallowed. The group-commit sweep trips the fuse after a deterministic
+// setup phase so concurrent committers run against stable storage frozen at
+// a known instant.
+func (f *Fuse) Trip() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.limit = f.count
+}
+
 // Disarm stops the fuse from swallowing further events (recovery runs with
 // stable storage writable again).
 func (f *Fuse) Disarm() {

@@ -1,0 +1,259 @@
+package harness
+
+// Group-commit crash sweep: crash-consistency testing for the window group
+// commit introduces between group formation and the stable flush.
+//
+// The single-client crash-point sweep (sweep.go) enumerates stable-storage
+// events, which by construction can never land *inside* a group: a group
+// flush is one event. The failure mode specific to group commit is different
+// — several transactions append their commit records, park together, and the
+// server dies before (or part-way into making) the group durable. What must
+// hold then is exactly the WAL contract: a transaction is durable if and
+// only if its commit record lies wholly below the stable end the crash left
+// behind, and each transaction is atomic regardless of which group members
+// made it.
+//
+// Because the interleaving of concurrent committers is scheduling-dependent,
+// this sweep is self-validating rather than replay-deterministic: it derives
+// the expected outcome from the log the run actually produced instead of
+// from a precomputed journal.
+//
+//  1. A serial setup phase gives each of K clients two private pages, each
+//     holding one object with a known old value, and checkpoints so the
+//     setup is stable.
+//  2. Stable storage is frozen (the sweep fuse trips): every later data
+//     write and log flush is swallowed, so the store and the log's stable
+//     end stay exactly at the freeze instant while the log's volatile tail
+//     keeps growing.
+//  3. K clients concurrently run one update transaction each (both objects
+//     to a new value) and commit. The commits batch through group commit;
+//     none becomes durable.
+//  4. Every record boundary in the volatile tail is a cut: the crash
+//     instants from "no commit stable" through "all commits stable". For
+//     each cut the frozen store is cloned, the log is cloned with its
+//     stable end at the cut (wal.CrashClone), a fresh server recovers, and
+//     each client's objects are checked: both new iff that client's commit
+//     record lies wholly below the cut, both old otherwise — never a
+//     mixture, which would be a torn group member.
+//
+// Restart runs with RedoWorkers > 1, so the sweep also drives parallel redo
+// through every cut.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/client"
+	"repro/internal/disk"
+	"repro/internal/faultinject"
+	"repro/internal/logrec"
+	"repro/internal/page"
+	"repro/internal/server"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// GroupSweepReport summarizes one group-commit sweep.
+type GroupSweepReport struct {
+	System   string
+	Clients  int
+	Cuts     int      // record-boundary crash instants examined
+	Durable  []int    // durable-commit count at each cut (diagnostics)
+	Failures []string // violated invariants, with the cut and client
+}
+
+// groupSweepClient is one committer's setup and expected values.
+type groupSweepClient struct {
+	cli       *client.Client
+	oids      [2]page.OID
+	tid       logrec.TID // transaction that wrote newVal, set in phase 3
+	commitEnd uint64     // exclusive end LSN of its commit record, 0 if absent
+}
+
+const groupObjectSize = 16
+
+func groupVal(prefix string, k int) []byte {
+	b := make([]byte, groupObjectSize)
+	copy(b, fmt.Sprintf("%s-%03d", prefix, k))
+	return b
+}
+
+// GroupCommitSweep runs the self-validating group-commit crash sweep for one
+// scheme with nclients concurrent committers.
+func GroupCommitSweep(sys SweepSystem, nclients int) (*GroupSweepReport, error) {
+	fuse := faultinject.NewFuse(-1)
+	mem := disk.NewMemStore()
+	store := faultinject.NewSweepStore(mem, fuse)
+	log := wal.New(sweepLogCapacity)
+	log.SetFlushLimiter(func(proposed uint64) uint64 {
+		if _, ok := fuse.Event(); !ok {
+			return 0
+		}
+		return proposed
+	})
+	log.SetTruncateGate(func() bool {
+		_, ok := fuse.Event()
+		return ok
+	})
+	srv := server.New(server.Config{
+		Mode:            sys.Mode,
+		Store:           store,
+		Log:             log,
+		LogCapacity:     sweepLogCapacity,
+		PoolPages:       sweepServerPool,
+		CheckpointEvery: 1 << 30, // checkpoints only where the sweep asks for one
+	})
+	defer srv.Close()
+
+	newClient := func(s *server.Server) *client.Client {
+		return client.New(client.Config{
+			Scheme:         sys.Scheme,
+			PoolPages:      sweepClientPool,
+			ShipDirtyPages: sys.Mode != server.ModeREDO,
+		}, wire.NewDirect(s, nil, nil))
+	}
+
+	// Phase 1: serial setup, then checkpoint so it is durable.
+	clients := make([]*groupSweepClient, nclients)
+	for k := range clients {
+		c := &groupSweepClient{cli: newClient(srv)}
+		tx, err := c.cli.Begin()
+		if err != nil {
+			return nil, fmt.Errorf("groupsweep setup begin: %w", err)
+		}
+		for i := range c.oids {
+			if _, err := tx.NewPage(); err != nil {
+				return nil, fmt.Errorf("groupsweep setup page: %w", err)
+			}
+			oid, err := tx.Allocate(groupObjectSize)
+			if err != nil {
+				return nil, fmt.Errorf("groupsweep setup alloc: %w", err)
+			}
+			if err := tx.Write(oid, 0, groupVal("old", k)); err != nil {
+				return nil, fmt.Errorf("groupsweep setup write: %w", err)
+			}
+			c.oids[i] = oid
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, fmt.Errorf("groupsweep setup commit: %w", err)
+		}
+		clients[k] = c
+	}
+	if err := srv.NewSession(nil, nil).Checkpoint(); err != nil {
+		return nil, fmt.Errorf("groupsweep checkpoint: %w", err)
+	}
+
+	// Phase 2: freeze stable storage.
+	fuse.Trip()
+	frozenEnd := log.StableEnd()
+
+	// Phase 3: concurrent committers. Every commit call returns (the flush
+	// attempt happened; the fuse swallowed it), but nothing became durable.
+	var wg sync.WaitGroup
+	errs := make([]error, nclients)
+	for k := range clients {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			c := clients[k]
+			tx, err := c.cli.Begin()
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			c.tid = tx.TID()
+			for _, oid := range c.oids {
+				if err := tx.Write(oid, 0, groupVal("new", k)); err != nil {
+					tx.Abort()
+					errs[k] = err
+					return
+				}
+			}
+			errs[k] = tx.Commit()
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("groupsweep client %d commit: %w", k, err)
+		}
+	}
+
+	// Phase 4: enumerate the volatile tail. Scan walks appended records past
+	// the stable end; boundaries above frozenEnd are the cuts, and each
+	// client's commit record tells us its durability threshold.
+	byTID := make(map[logrec.TID]*groupSweepClient, nclients)
+	for _, c := range clients {
+		byTID[c.tid] = c
+	}
+	cuts := []uint64{frozenEnd}
+	if err := log.Scan(log.Head(), func(r *logrec.Record) bool {
+		end := r.LSN + uint64(r.EncodedSize())
+		if end <= frozenEnd {
+			return true
+		}
+		cuts = append(cuts, end)
+		if r.Type == logrec.TypeCommit {
+			if c := byTID[r.TID]; c != nil {
+				c.commitEnd = end
+			}
+		}
+		return true
+	}); err != nil {
+		return nil, fmt.Errorf("groupsweep scan: %w", err)
+	}
+	for k, c := range clients {
+		if c.commitEnd == 0 {
+			return nil, fmt.Errorf("groupsweep: client %d (tid %v) has no commit record in the volatile tail", k, c.tid)
+		}
+	}
+
+	rep := &GroupSweepReport{System: sys.Name, Clients: nclients, Cuts: len(cuts)}
+	for _, cut := range cuts {
+		durable := 0
+		lg := log.CrashClone(cut)
+		st := mem.Clone()
+		srv2 := server.New(server.Config{
+			Mode:            sys.Mode,
+			Store:           st,
+			Log:             lg,
+			LogCapacity:     sweepLogCapacity,
+			PoolPages:       sweepServerPool,
+			CheckpointEvery: 1 << 30,
+			RedoWorkers:     4, // drive parallel redo through every cut
+		})
+		if err := srv2.NewSession(nil, nil).Restart(); err != nil {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("cut %d: restart failed: %v", cut, err))
+			continue
+		}
+		vcli := newClient(srv2)
+		tx, err := vcli.Begin()
+		if err != nil {
+			return nil, fmt.Errorf("groupsweep verify begin (cut %d): %w", cut, err)
+		}
+		for k, c := range clients {
+			want := groupVal("old", k)
+			if c.commitEnd <= cut {
+				want = groupVal("new", k)
+				durable++
+			}
+			for i, oid := range c.oids {
+				got, err := tx.ReadObject(oid)
+				if err != nil {
+					rep.Failures = append(rep.Failures,
+						fmt.Sprintf("cut %d: client %d object %d unreadable: %v", cut, k, i, err))
+					continue
+				}
+				if string(got) != string(want) {
+					rep.Failures = append(rep.Failures, fmt.Sprintf(
+						"cut %d: client %d (tid %v, commit end %d) object %d = %q, want %q",
+						cut, k, c.tid, c.commitEnd, i, got, want))
+				}
+			}
+		}
+		tx.Abort()
+		rep.Durable = append(rep.Durable, durable)
+	}
+	return rep, nil
+}

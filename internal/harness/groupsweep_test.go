@@ -1,0 +1,50 @@
+package harness
+
+import "testing"
+
+// TestGroupCommitSweepSmoke is the 2-client group-commit sweep over one
+// scheme — the cheap race-detector smoke wired into make check.
+func TestGroupCommitSweepSmoke(t *testing.T) {
+	rep, err := GroupCommitSweep(SweepSystems()[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGroupReport(t, rep, 2)
+}
+
+// TestGroupCommitSweepAllSchemes runs 4 concurrent committers through every
+// record-boundary cut of the group-commit window, for all five schemes.
+func TestGroupCommitSweepAllSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: smoke test covers one scheme")
+	}
+	for _, sys := range SweepSystems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			rep, err := GroupCommitSweep(sys, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGroupReport(t, rep, 4)
+		})
+	}
+}
+
+func checkGroupReport(t *testing.T, rep *GroupSweepReport, nclients int) {
+	t.Helper()
+	for _, f := range rep.Failures {
+		t.Errorf("%s: %s", rep.System, f)
+	}
+	// The sweep must actually cover the window: the first cut has no commit
+	// durable and the last has all of them.
+	if rep.Cuts < nclients+1 {
+		t.Fatalf("%s: only %d cuts for %d clients (volatile tail not enumerated?)",
+			rep.System, rep.Cuts, nclients)
+	}
+	if got := rep.Durable[0]; got != 0 {
+		t.Errorf("%s: first cut already has %d durable commits", rep.System, got)
+	}
+	if got := rep.Durable[len(rep.Durable)-1]; got != nclients {
+		t.Errorf("%s: final cut has %d durable commits, want %d", rep.System, got, nclients)
+	}
+}

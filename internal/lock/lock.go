@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/logrec"
@@ -53,6 +54,7 @@ type Manager struct {
 	cond  *sync.Cond
 	locks map[page.ID]*entry
 	held  map[logrec.TID]map[page.ID]Mode
+	waits atomic.Int64 // Lock calls that had to block on a conflict
 }
 
 type entry struct {
@@ -107,6 +109,7 @@ func (m *Manager) Lock(tid logrec.TID, pid page.ID, mode Mode) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("%w: %v %v on %v", ErrDeadlock, tid, mode, pid)
 		}
+		m.waits.Add(1)
 		e.waiters++
 		m.waitWithDeadline(deadline)
 		e.waiters--
@@ -158,6 +161,18 @@ func (m *Manager) TryLock(tid logrec.TID, pid page.ID, mode Mode) bool {
 	return true
 }
 
+// Reset drops the whole lock table (a server crash: the table is volatile).
+// Waiters parked on old entries keep seeing their stale grants and fail by
+// timeout, which is the correct client-visible outcome for a request that
+// was in flight when the server died.
+func (m *Manager) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.locks = make(map[page.ID]*entry)
+	m.held = make(map[logrec.TID]map[page.ID]Mode)
+	m.cond.Broadcast()
+}
+
 // ReleaseAll drops every lock held by tid (transaction end).
 func (m *Manager) ReleaseAll(tid logrec.TID) {
 	m.mu.Lock()
@@ -180,6 +195,9 @@ func (m *Manager) Holds(tid logrec.TID, pid page.ID) (Mode, bool) {
 	mode, ok := m.held[tid][pid]
 	return mode, ok
 }
+
+// Waits returns how many Lock calls have blocked on a conflicting holder.
+func (m *Manager) Waits() int64 { return m.waits.Load() }
 
 // HeldCount returns the number of pages tid currently has locked.
 func (m *Manager) HeldCount(tid logrec.TID) int {

@@ -7,19 +7,28 @@ package server
 // table is logged, and the log is truncated below the oldest LSN any active
 // transaction still needs. Restart then runs analysis from the checkpoint,
 // redoes history conditionally on page LSNs, and rolls back losers with
-// CLRs.
+// CLRs. Redo is partitioned by page ID across Config.RedoWorkers goroutines
+// — per-page record order is preserved because a page belongs to exactly one
+// worker; undo stays sequential (CLR LSNs must be deterministic).
 //
 // WPL checkpoints write the WPL table to the log (paper §3.4.3); restart is
 // the paper's single backward pass that builds the committed-transactions
 // list, reconstructs the WPL table, and installs the surviving copies.
+//
+// Every entry point here takes the write side of the quiesce gate, so it
+// observes a server with no session operation in flight; the leaf mutexes
+// are still taken around map access to keep the lock discipline uniform.
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
-	"repro/internal/lock"
 	"repro/internal/logrec"
 	"repro/internal/page"
 	"repro/internal/wal"
@@ -117,38 +126,51 @@ func decodeCkpt(b []byte) (*ckptPayload, error) {
 // --- checkpoint ------------------------------------------------------------
 
 // Checkpoint writes a checkpoint record, updates the master record in the
-// superblock, and reclaims log space.
+// superblock, and reclaims log space. It quiesces the server for its
+// duration (a sharp checkpoint).
 func (sn *Session) Checkpoint() error {
 	s := sn.s
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.checkpointLocked(sn)
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	return s.checkpointQuiesced(sn)
 }
 
-func (s *Server) checkpointLocked(sn *Session) error {
+func (s *Server) checkpointQuiesced(sn *Session) error {
+	s.allocMu.Lock()
 	c := ckptPayload{nextPage: s.nextPage, nextTID: s.nextTID}
+	s.allocMu.Unlock()
 	if s.cfg.Mode != ModeWPL {
-		// Sharp checkpoint: force the log once, then flush every dirty page.
-		sn.m.LogWrite(s.log.Force())
+		// Sharp checkpoint: force the log once, then flush every dirty page
+		// (in ascending page order — the sweep's event stream depends on it).
+		sn.meter().LogWrite(s.log.Force())
 		for _, pid := range s.pool.DirtyPages() {
-			f := s.pool.Peek(pid)
+			sh := s.pool.Lock(pid)
+			f := sh.Peek(pid)
 			if err := s.store.WritePage(pid, f.Bytes()); err != nil {
+				sh.Unlock()
 				return err
 			}
-			sn.m.DataWriteAsync(1)
-			s.stats.DataWrites++
-			s.pool.MarkClean(pid)
+			sn.meter().DataWriteAsync(1)
+			atomic.AddInt64(&s.stats.DataWrites, 1)
+			sh.MarkClean(pid)
+			sh.Unlock()
+			s.dptMu.Lock()
 			delete(s.dpt, pid)
+			s.dptMu.Unlock()
 		}
 	}
+	s.attMu.Lock()
 	for _, t := range s.att {
 		c.txns = append(c.txns, ckptTxn{tid: t.tid, lastLSN: t.lastLSN, firstLSN: t.firstLSN})
 	}
+	s.attMu.Unlock()
+	s.wplMu.Lock()
 	for _, head := range s.wpl {
 		for e := head; e != nil; e = e.prev {
 			c.wpl = append(c.wpl, ckptWPL{pid: e.pid, lsn: e.lsn, tid: e.tid, committed: e.committed})
 		}
 	}
+	s.wplMu.Unlock()
 	// Map iteration is randomized; sort so the checkpoint record's bytes —
 	// and with them every later LSN — are identical run to run, which the
 	// crash-point sweep's reproducibility depends on.
@@ -164,16 +186,16 @@ func (s *Server) checkpointLocked(sn *Session) error {
 	if err != nil {
 		return err
 	}
-	sn.m.LogWrite(s.log.Force())
+	sn.meter().LogWrite(s.log.Force())
 	if err := s.writeSuperblock(sn, superblock{
 		checkpointLSN: ckptLSN,
-		nextPage:      s.nextPage,
-		nextTID:       s.nextTID,
+		nextPage:      c.nextPage,
+		nextTID:       c.nextTID,
 		hasCheckpoint: true,
 	}); err != nil {
 		return err
 	}
-	s.stats.Checkpoints++
+	atomic.AddInt64(&s.stats.Checkpoints, 1)
 	// Reclaim: the log is needed from the oldest of the checkpoint itself,
 	// any active transaction's first record, and any WPL copy still awaiting
 	// install.
@@ -195,15 +217,25 @@ func (s *Server) checkpointLocked(sn *Session) error {
 
 // Crash simulates a server failure: every volatile structure (buffer pool,
 // transaction tables, WPL table, lock table, unforced log tail) is lost. The
-// data volume and the forced log survive.
+// data volume and the forced log survive. Committers parked in the group-
+// commit flusher are woken (their commit outcome is whatever the surviving
+// log says), and queued background installs are invalidated by the WPL
+// generation bump.
 func (s *Server) Crash() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.gate.Lock()
+	defer s.gate.Unlock()
 	s.pool.Clear()
+	s.attMu.Lock()
 	s.att = make(map[logrec.TID]*txn)
+	s.attMu.Unlock()
+	s.dptMu.Lock()
 	s.dpt = make(map[page.ID]uint64)
+	s.dptMu.Unlock()
+	s.wplMu.Lock()
 	s.wpl = make(map[page.ID]*wplEntry)
-	s.locks = lock.NewManager(s.cfg.LockTimeout)
+	s.wplGen++
+	s.wplMu.Unlock()
+	s.locks.Reset()
 	s.log.Crash()
 }
 
@@ -211,15 +243,17 @@ func (s *Server) Crash() {
 // ready for new transactions.
 func (sn *Session) Restart() error {
 	s := sn.s
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Restarts++
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	atomic.AddInt64(&s.stats.Restarts, 1)
 	sb, err := s.readSuperblock()
 	if err != nil {
 		return err
 	}
+	s.allocMu.Lock()
 	s.nextPage = maxPID(s.nextPage, sb.nextPage)
 	s.nextTID = maxTID(s.nextTID, sb.nextTID)
+	s.allocMu.Unlock()
 	start := s.log.Head()
 	var ckpt *ckptPayload
 	if sb.hasCheckpoint {
@@ -231,7 +265,7 @@ func (sn *Session) Restart() error {
 			// superblock was written after a sharp checkpoint flushed every
 			// page, so the volume is consistent as of that checkpoint; only
 			// the allocation counters need restoring.
-			return s.checkpointLocked(sn)
+			return s.checkpointQuiesced(sn)
 		case err != nil:
 			return fmt.Errorf("server: reading checkpoint: %w", err)
 		}
@@ -242,16 +276,16 @@ func (sn *Session) Restart() error {
 		start = sb.checkpointLSN
 	}
 	// Charge the restart log scan.
-	sn.m.LogRead(wal.PagesInRange(start, s.log.StableEnd()))
+	sn.meter().LogRead(wal.PagesInRange(start, s.log.StableEnd()))
 	if s.cfg.Mode == ModeWPL {
-		err = s.wplRestartLocked(sn, ckpt, start)
+		err = s.wplRestartQuiesced(sn, ckpt, start)
 	} else {
-		err = s.ariesRestartLocked(sn, ckpt, start)
+		err = s.ariesRestartQuiesced(sn, ckpt, start)
 	}
 	if err != nil {
 		return err
 	}
-	return s.checkpointLocked(sn)
+	return s.checkpointQuiesced(sn)
 }
 
 func maxPID(a, b page.ID) page.ID {
@@ -268,8 +302,19 @@ func maxTID(a, b logrec.TID) logrec.TID {
 	return b
 }
 
-// ariesRestartLocked runs analysis, redo and undo for ESM/REDO.
-func (s *Server) ariesRestartLocked(sn *Session, ckpt *ckptPayload, start uint64) error {
+// bumpAllocFor advances the allocation counters past a scanned record's ids.
+// Caller holds gate.W (restart only).
+func (s *Server) bumpAllocFor(r *logrec.Record) {
+	if r.TID >= s.nextTID {
+		s.nextTID = r.TID + 1
+	}
+	if r.Page >= s.nextPage {
+		s.nextPage = r.Page + 1
+	}
+}
+
+// ariesRestartQuiesced runs analysis, redo and undo for ESM/REDO.
+func (s *Server) ariesRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint64) error {
 	// Analysis: rebuild the transaction table and dirty page table.
 	att := make(map[logrec.TID]*txn)
 	if ckpt != nil {
@@ -313,12 +358,7 @@ func (s *Server) ariesRestartLocked(sn *Session, ckpt *ckptPayload, start uint64
 				delete(att, r.TID)
 			}
 		}
-		if r.TID >= s.nextTID {
-			s.nextTID = r.TID + 1
-		}
-		if r.Page >= s.nextPage {
-			s.nextPage = r.Page + 1
-		}
+		s.bumpAllocFor(r)
 		return true
 	})
 	if err != nil {
@@ -329,40 +369,14 @@ func (s *Server) ariesRestartLocked(sn *Session, ckpt *ckptPayload, start uint64
 			redoFrom = rec
 		}
 	}
-	// Redo: repeat history for pages in the DPT, conditional on page LSN.
+	// Redo: repeat history for pages in the DPT, conditional on page LSN,
+	// partitioned by page ID across workers.
 	if redoFrom != logrec.NoLSN {
-		var redoErr error
-		err = s.log.Scan(redoFrom, func(r *logrec.Record) bool {
-			switch r.Type {
-			case logrec.TypeUpdate, logrec.TypePageImage, logrec.TypeCLR:
-			default:
-				return true
-			}
-			recLSN, ok := dpt[r.Page]
-			if !ok || r.LSN < recLSN {
-				return true
-			}
-			f, err := s.fetchLocked(sn, r.Page, false)
-			if err != nil {
-				redoErr = err
-				return false
-			}
-			pg := page.Wrap(f.Bytes())
-			if pg.LSN() >= r.LSN && pg.LSN() != 0 {
-				return true // already on disk
-			}
-			if err := s.applyLocked(sn, r); err != nil {
-				redoErr = err
-				return false
-			}
-			return true
-		})
-		if err != nil {
+		if err := s.redoQuiesced(sn, dpt, redoFrom); err != nil {
 			return err
 		}
-		if redoErr != nil {
-			return redoErr
-		}
+	} else {
+		s.redoApplied = nil
 	}
 	// Undo losers in TID order: undo appends CLRs, and their LSNs must be
 	// identical run to run (map iteration is randomized).
@@ -372,7 +386,7 @@ func (s *Server) ariesRestartLocked(sn *Session, ckpt *ckptPayload, start uint64
 	}
 	sort.Slice(losers, func(i, j int) bool { return losers[i].tid < losers[j].tid })
 	for _, t := range losers {
-		if err := s.undoLocked(sn, t, logrec.NoLSN); err != nil {
+		if err := s.undo(sn, t, logrec.NoLSN); err != nil {
 			return err
 		}
 		e := logrec.NewEnd(t.tid)
@@ -381,15 +395,137 @@ func (s *Server) ariesRestartLocked(sn *Session, ckpt *ckptPayload, start uint64
 			return err
 		}
 	}
-	sn.m.LogWrite(s.log.Force())
+	sn.meter().LogWrite(s.log.Force())
 	return nil
 }
 
-// wplRestartLocked is the paper's §3.4.3 restart: one backward pass from the
-// end of the log to the most recent checkpoint building the committed
+// redoRelevant reports whether r must be considered by redo given the DPT.
+func redoRelevant(r *logrec.Record, dpt map[page.ID]uint64) bool {
+	switch r.Type {
+	case logrec.TypeUpdate, logrec.TypePageImage, logrec.TypeCLR:
+	default:
+		return false
+	}
+	recLSN, ok := dpt[r.Page]
+	return ok && r.LSN >= recLSN
+}
+
+// redoApplyOne redoes one relevant record if the page's LSN shows it is
+// missing, returning 1 if it applied. Safe for concurrent callers on
+// different pages (and, via the shard latch, on the same page).
+func (s *Server) redoApplyOne(sn *Session, r *logrec.Record) (int64, error) {
+	sh := s.pool.Lock(r.Page)
+	defer sh.Unlock()
+	f, err := s.fetchShardLocked(sn, sh, r.Page, false)
+	if err != nil {
+		return 0, err
+	}
+	pg := page.Wrap(f.Bytes())
+	if pg.LSN() >= r.LSN && pg.LSN() != 0 {
+		return 0, nil // already on disk
+	}
+	if err := s.applyShardLocked(sn, sh, r); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// redoQuiesced is the redo pass. With one worker it replays inline, charging
+// the session per record as the serial server did. With several, it scans
+// once and fans records out by page ID — a page's records all go to the same
+// worker, preserving per-page order — then bulk-charges the session for the
+// aggregate work. Caller holds gate.W.
+func (s *Server) redoQuiesced(sn *Session, dpt map[page.ID]uint64, redoFrom uint64) error {
+	nw := s.cfg.RedoWorkers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw == 1 {
+		var applied int64
+		var redoErr error
+		err := s.log.Scan(redoFrom, func(r *logrec.Record) bool {
+			if !redoRelevant(r, dpt) {
+				return true
+			}
+			n, err := s.redoApplyOne(sn, r)
+			applied += n
+			if err != nil {
+				redoErr = err
+				return false
+			}
+			return true
+		})
+		s.redoApplied = []int64{applied}
+		if err != nil {
+			return err
+		}
+		return redoErr
+	}
+
+	chans := make([]chan *logrec.Record, nw)
+	applied := make([]int64, nw)
+	errs := make([]error, nw)
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan *logrec.Record, 64)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := range chans[i] {
+				if errs[i] != nil {
+					continue // drain after failure
+				}
+				n, err := s.redoApplyOne(nil, r)
+				applied[i] += n
+				if err != nil {
+					errs[i] = err
+				}
+			}
+		}(i)
+	}
+	// Snapshot counters so the session can be bulk-charged for work the
+	// meterless workers perform.
+	preReads := atomic.LoadInt64(&s.stats.DataReads)
+	preWrites := atomic.LoadInt64(&s.stats.DataWrites)
+	preLogPages := s.log.PagesWritten()
+	scanErr := s.log.Scan(redoFrom, func(r *logrec.Record) bool {
+		if !redoRelevant(r, dpt) {
+			return true
+		}
+		// Clone: Scan's record aliases its reusable decode buffer, and this
+		// one crosses a channel into another goroutine.
+		chans[int(uint64(r.Page)%uint64(nw))] <- r.Clone()
+		return true
+	})
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	s.redoApplied = applied
+	var total int64
+	for _, n := range applied {
+		total += n
+	}
+	sn.meter().ServerCompute(time.Duration(total) * sn.params().ServerApply)
+	sn.meter().DataRead(int(atomic.LoadInt64(&s.stats.DataReads) - preReads))
+	sn.meter().DataWriteAsync(int(atomic.LoadInt64(&s.stats.DataWrites) - preWrites))
+	sn.meter().LogWrite(int(s.log.PagesWritten() - preLogPages))
+	if scanErr != nil {
+		return scanErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wplRestartQuiesced is the paper's §3.4.3 restart: one backward pass from
+// the end of the log to the most recent checkpoint building the committed
 // transactions list (CTL) and the WPL table, then processing the checkpoint
 // record, then installing every recovered copy.
-func (s *Server) wplRestartLocked(sn *Session, ckpt *ckptPayload, start uint64) error {
+func (s *Server) wplRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint64) error {
 	ctl := make(map[logrec.TID]bool)
 	table := make(map[page.ID]*wplEntry)
 	scanFrom := start
@@ -401,12 +537,7 @@ func (s *Server) wplRestartLocked(sn *Session, ckpt *ckptPayload, start uint64) 
 		scanFrom = start + uint64(rec.EncodedSize())
 	}
 	err := s.log.ScanBackward(scanFrom, func(r *logrec.Record) bool {
-		if r.TID >= s.nextTID {
-			s.nextTID = r.TID + 1
-		}
-		if r.Page >= s.nextPage {
-			s.nextPage = r.Page + 1
-		}
+		s.bumpAllocFor(r)
 		switch r.Type {
 		case logrec.TypeCommit:
 			ctl[r.TID] = true
@@ -449,13 +580,13 @@ func (s *Server) wplRestartLocked(sn *Session, ckpt *ckptPayload, start uint64) 
 		if err != nil {
 			return fmt.Errorf("server: WPL restart install %v: %w", e.pid, err)
 		}
-		sn.m.LogRead(1)
+		sn.meter().LogRead(1)
 		if err := s.store.WritePage(e.pid, rec.After); err != nil {
 			return err
 		}
-		sn.m.DataWriteAsync(1)
-		s.stats.DataWrites++
-		s.stats.WPLInstalls++
+		sn.meter().DataWriteAsync(1)
+		atomic.AddInt64(&s.stats.DataWrites, 1)
+		atomic.AddInt64(&s.stats.WPLInstalls, 1)
 	}
 	return nil
 }
@@ -464,21 +595,26 @@ func (s *Server) wplRestartLocked(sn *Session, ckpt *ckptPayload, start uint64) 
 // in the standalone server; not part of the measured protocols).
 func (sn *Session) FlushAll() error {
 	s := sn.s
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.gate.Lock()
+	defer s.gate.Unlock()
 	if s.cfg.Mode == ModeWPL {
 		return nil // installs happen at commit; nothing safe to force early
 	}
-	sn.m.LogWrite(s.log.Force())
+	sn.meter().LogWrite(s.log.Force())
 	for _, pid := range s.pool.DirtyPages() {
-		f := s.pool.Peek(pid)
+		sh := s.pool.Lock(pid)
+		f := sh.Peek(pid)
 		if err := s.store.WritePage(pid, f.Bytes()); err != nil {
+			sh.Unlock()
 			return err
 		}
-		sn.m.DataWriteAsync(1)
-		s.stats.DataWrites++
-		s.pool.MarkClean(pid)
+		sn.meter().DataWriteAsync(1)
+		atomic.AddInt64(&s.stats.DataWrites, 1)
+		sh.MarkClean(pid)
+		sh.Unlock()
+		s.dptMu.Lock()
 		delete(s.dpt, pid)
+		s.dptMu.Unlock()
 	}
 	return nil
 }

@@ -15,6 +15,33 @@
 // The server owns the stable data volume, the transaction log, the lock
 // manager, and its own buffer pool. Work is reported to a costmodel.Meter
 // per session so simulated runs charge the shared server resources.
+//
+// # Concurrency model (DESIGN.md §9)
+//
+// Independent sessions run in parallel. There is no global server mutex;
+// instead:
+//
+//   - gate (RWMutex): every session operation holds the read side for its
+//     duration; Checkpoint, Restart, Crash and FlushAll hold the write side,
+//     so they observe (and the crash-point sweep replays) a fully quiesced
+//     server. Lock-manager waits never happen under the gate — page locks
+//     are acquired before entering.
+//   - The buffer pool is sharded (buffer.Sharded): a page's shard latch
+//     protects its frame bytes and that shard's LRU/residency metadata for
+//     the duration of one read/modify step. Isolation across operations is
+//     the lock manager's job, exactly as page latches vs. locks in ARIES.
+//   - The ATT, DPT, WPL table and allocation counters each have a small
+//     leaf mutex (attMu, dptMu, wplMu, allocMu). A txn's fields beyond the
+//     map entry itself are owned by the session driving it (clients issue
+//     requests for one transaction sequentially); quiesced readers get
+//     happens-before through the gate.
+//   - Stats fields are updated with atomics.
+//
+// Latch order (outer to inner): gate.R → big (Serialize) → one shard latch
+// → {attMu | dptMu | wplMu | allocMu} → log/store internal locks. Never
+// acquire a shard latch while holding one of the leaf mutexes, and never
+// hold two shard latches (checkpoint-style paths that need all shards run
+// under gate.W, where the pool helpers may latch shards in index order).
 package server
 
 import (
@@ -22,6 +49,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
@@ -73,6 +101,7 @@ type Config struct {
 	Store       disk.Store    // stable data volume; NewMemStore if nil
 	LogCapacity int           // log bytes; wal.DefaultCapacity if 0
 	PoolPages   int           // server buffer pool frames; default 4608 (36 MB)
+	PoolShards  int           // buffer pool shards; buffer.DefaultShards if 0
 	LockTimeout time.Duration // lock wait bound; lock.DefaultTimeout if 0
 	// CheckpointEvery takes a checkpoint after this many commits (0 = 64).
 	CheckpointEvery int
@@ -80,6 +109,25 @@ type Config struct {
 	// crash-point sweep uses this to restart a server over the surviving
 	// store and log of a crashed instance, as reopening the log disk would.
 	Log *wal.Log
+	// Serialize reverts to the pre-concurrent behavior: one global mutex
+	// around every operation and an inline log force per commit. It exists
+	// as the baseline arm of the commit-throughput benchmark.
+	Serialize bool
+	// GroupCommitDelay tunes group commit. 0 (the default) enables group
+	// commit with no extra batching delay: a flush still covers every commit
+	// parked while the previous flush was in progress. A positive value
+	// makes each group flush wait that long for more committers to join
+	// (throughput up, commit latency up). A negative value disables group
+	// commit entirely: each commit forces the log inline.
+	GroupCommitDelay time.Duration
+	// WPLInstallAsync moves committed-page installs to a background
+	// goroutine (the paper's §3.4.2 asynchronous installer). Off by
+	// default: the crash-point sweep needs installs to happen at
+	// deterministic points, and they then run inline at commit.
+	WPLInstallAsync bool
+	// RedoWorkers is the number of parallel restart-redo workers
+	// (0 = GOMAXPROCS, 1 = sequential redo).
+	RedoWorkers int
 }
 
 // DefaultPoolPages is 36 MB of 8 KB frames, the paper's server memory.
@@ -89,7 +137,8 @@ const DefaultPoolPages = 36 << 20 / page.Size
 // counters); it is never handed to clients.
 const superblockPage page.ID = 0
 
-// Stats counts server-side work.
+// Stats counts server-side work. Fields are updated with atomics; read them
+// through Stats() / ExtendedStats().
 type Stats struct {
 	LogPagesReceived   int64 // client→server log record pages (ESM/REDO)
 	DirtyPagesReceived int64 // client→server dirty pages (ESM/WPL)
@@ -107,7 +156,26 @@ type Stats struct {
 	Restarts           int64
 }
 
-// txn is an active-transaction-table entry.
+// StatsX extends Stats with the concurrency counters introduced with group
+// commit and sharded latching; qsctl stats reports it from a live daemon.
+type StatsX struct {
+	Stats
+	GroupCommit     wal.GroupCommitStats
+	LogForces       int64   // stable log writes (each group flush is one)
+	LogPagesWritten int64   // cumulative 8 KB log pages written
+	PoolHits        int64   // buffer pool hits
+	PoolMisses      int64   // buffer pool misses
+	LatchContention int64   // shard-latch acquisitions that found the latch held
+	LockWaits       int64   // lock-manager requests that blocked on a conflict
+	RedoWorkers     int     // workers used by the most recent restart redo
+	RedoApplied     []int64 // records applied per redo worker (utilization)
+}
+
+// txn is an active-transaction-table entry. The att map itself is guarded
+// by attMu; a txn's fields are owned by the single session driving the
+// transaction (clients issue a transaction's requests sequentially), with
+// quiesced paths (checkpoint, restart) reading them under the write side of
+// the gate.
 type txn struct {
 	tid      logrec.TID
 	lastLSN  uint64 // most recent log record (undo chain head); NoLSN if none
@@ -120,13 +188,21 @@ type txn struct {
 	wplPages []page.ID
 }
 
-// wplEntry is a WPL-table entry (paper §3.4.2).
+// wplEntry is a WPL-table entry (paper §3.4.2). Guarded by wplMu.
 type wplEntry struct {
 	pid       page.ID
 	lsn       uint64 // location of the page image in the log
 	tid       logrec.TID
 	committed bool
 	prev      *wplEntry // previously logged copy still needed for recovery
+}
+
+// installJob asks the background installer to install e if it is still the
+// committed head for pid in generation gen.
+type installJob struct {
+	pid page.ID
+	e   *wplEntry
+	gen uint64
 }
 
 // Server is the storage server. Its methods are invoked through Sessions.
@@ -136,15 +212,36 @@ type Server struct {
 	log   *wal.Log
 	locks *lock.Manager
 
-	mu       sync.Mutex
-	pool     *buffer.Pool
-	att      map[logrec.TID]*txn
-	dpt      map[page.ID]uint64 // dirty page table: pid → recLSN (ESM/REDO)
-	wpl      map[page.ID]*wplEntry
+	// gate quiesces the server: see the package comment's concurrency model.
+	gate sync.RWMutex
+	big  sync.Mutex // Serialize mode only: the legacy global mutex
+
+	pool *buffer.Sharded
+
+	attMu sync.Mutex
+	att   map[logrec.TID]*txn
+
+	dptMu sync.Mutex
+	dpt   map[page.ID]uint64 // dirty page table: pid → recLSN (ESM/REDO)
+
+	wplMu  sync.Mutex
+	wpl    map[page.ID]*wplEntry
+	wplGen uint64 // bumped at crash/restart so stale async installs are dropped
+
+	allocMu  sync.Mutex
 	nextTID  logrec.TID
 	nextPage page.ID
 	commits  int // since last checkpoint
-	stats    Stats
+
+	stats Stats // atomics
+
+	installCh chan installJob // non-nil iff WPLInstallAsync
+	installWG sync.WaitGroup
+	closeOnce sync.Once
+
+	// redoApplied records the most recent restart's per-worker apply counts;
+	// written under gate.W, read under gate.R (ExtendedStats).
+	redoApplied []int64
 }
 
 // New creates a server and formats the volume if it is empty. If the volume
@@ -167,14 +264,37 @@ func New(cfg Config) *Server {
 		store:    cfg.Store,
 		log:      cfg.Log,
 		locks:    lock.NewManager(cfg.LockTimeout),
-		pool:     buffer.NewPool(cfg.PoolPages),
+		pool:     buffer.NewSharded(cfg.PoolPages, cfg.PoolShards),
 		att:      make(map[logrec.TID]*txn),
 		dpt:      make(map[page.ID]uint64),
 		wpl:      make(map[page.ID]*wplEntry),
 		nextTID:  1,
 		nextPage: 1,
 	}
+	if cfg.GroupCommitDelay > 0 {
+		s.log.SetGroupCommitDelay(cfg.GroupCommitDelay)
+	}
+	if cfg.WPLInstallAsync && cfg.Mode == ModeWPL {
+		s.installCh = make(chan installJob, 256)
+		s.installWG.Add(1)
+		go s.installWorker()
+	}
 	return s
+}
+
+// Close stops the background installer, if any. Safe to call more than once;
+// a closed server still serves requests (installs just run inline again).
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.installCh != nil {
+			ch := s.installCh
+			s.gate.Lock()
+			s.installCh = nil
+			s.gate.Unlock()
+			close(ch)
+			s.installWG.Wait()
+		}
+	})
 }
 
 // Mode returns the server's recovery mode.
@@ -182,13 +302,68 @@ func (s *Server) Mode() Mode { return s.cfg.Mode }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	ld := func(p *int64) int64 { return atomic.LoadInt64(p) }
+	return Stats{
+		LogPagesReceived:   ld(&s.stats.LogPagesReceived),
+		DirtyPagesReceived: ld(&s.stats.DirtyPagesReceived),
+		PagesServed:        ld(&s.stats.PagesServed),
+		DataReads:          ld(&s.stats.DataReads),
+		DataWrites:         ld(&s.stats.DataWrites),
+		LogRecordsApplied:  ld(&s.stats.LogRecordsApplied),
+		WPLInstalls:        ld(&s.stats.WPLInstalls),
+		WPLLogReloads:      ld(&s.stats.WPLLogReloads),
+		Commits:            ld(&s.stats.Commits),
+		Aborts:             ld(&s.stats.Aborts),
+		Checkpoints:        ld(&s.stats.Checkpoints),
+		CheckpointsFailed:  ld(&s.stats.CheckpointsFailed),
+		InstallsDeferred:   ld(&s.stats.InstallsDeferred),
+		Restarts:           ld(&s.stats.Restarts),
+	}
+}
+
+// ExtendedStats returns the full observability snapshot.
+func (s *Server) ExtendedStats() StatsX {
+	x := StatsX{
+		Stats:           s.Stats(),
+		GroupCommit:     s.log.GroupStats(),
+		LogForces:       s.log.Forces(),
+		LogPagesWritten: s.log.PagesWritten(),
+		PoolHits:        s.pool.Hits(),
+		PoolMisses:      s.pool.Misses(),
+		LatchContention: s.pool.Contention(),
+		LockWaits:       s.locks.Waits(),
+	}
+	s.gate.RLock()
+	x.RedoWorkers = len(s.redoApplied)
+	x.RedoApplied = append([]int64(nil), s.redoApplied...)
+	s.gate.RUnlock()
+	return x
 }
 
 // Log exposes the log manager for tests and tools.
 func (s *Server) Log() *wal.Log { return s.log }
+
+// enter takes the per-operation (read) side of the quiesce gate — and, in
+// Serialize mode, the legacy global mutex. The returned func releases both.
+func (s *Server) enter() func() {
+	s.gate.RLock()
+	if s.cfg.Serialize {
+		s.big.Lock()
+		return func() {
+			s.big.Unlock()
+			s.gate.RUnlock()
+		}
+	}
+	return s.gate.RUnlock
+}
+
+// lookupTxn finds tid's ATT entry.
+func (s *Server) lookupTxn(tid logrec.TID) (*txn, bool) {
+	s.attMu.Lock()
+	defer s.attMu.Unlock()
+	t, ok := s.att[tid]
+	return t, ok
+}
 
 // Session is one client's connection; server-side costs are charged to its
 // meter so the simulation attributes queueing correctly.
@@ -209,23 +384,46 @@ func (s *Server) NewSession(m costmodel.Meter, p *costmodel.Params) *Session {
 	return &Session{s: s, m: m, p: p}
 }
 
+// meter is sn.m, nil-safe: internal paths with no session (parallel redo
+// workers, the background installer) pass a nil *Session and charge nothing.
+func (sn *Session) meter() costmodel.Meter {
+	if sn == nil {
+		return costmodel.NopMeter{}
+	}
+	return sn.m
+}
+
+// params is sn.p, nil-safe.
+func (sn *Session) params() *costmodel.Params {
+	if sn == nil {
+		return costmodel.Default1995()
+	}
+	return sn.p
+}
+
 // Begin starts a transaction and returns its id.
 func (sn *Session) Begin() logrec.TID {
 	s := sn.s
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.enter()()
+	s.allocMu.Lock()
 	tid := s.nextTID
 	s.nextTID++
-	s.att[tid] = &txn{
+	s.allocMu.Unlock()
+	t := &txn{
 		tid:      tid,
 		lastLSN:  logrec.NoLSN,
 		firstLSN: logrec.NoLSN,
 		pageLSN:  make(map[page.ID]uint64),
 	}
+	s.attMu.Lock()
+	s.att[tid] = t
+	s.attMu.Unlock()
 	return tid
 }
 
-// Lock acquires a page lock on behalf of tid, blocking until granted.
+// Lock acquires a page lock on behalf of tid, blocking until granted. Lock
+// waits do not hold the quiesce gate (a parked waiter must not block a
+// checkpoint).
 func (sn *Session) Lock(tid logrec.TID, pid page.ID, mode lock.Mode) error {
 	sn.m.ServerCompute(sn.p.LockReqCPU)
 	return sn.s.locks.Lock(tid, pid, mode)
@@ -235,72 +433,77 @@ func (sn *Session) Lock(tid logrec.TID, pid page.ID, mode lock.Mode) error {
 // and ships it (or its image) with its recovery scheme's normal machinery.
 func (sn *Session) AllocPage(tid logrec.TID) (page.ID, error) {
 	s := sn.s
-	s.mu.Lock()
-	if _, ok := s.att[tid]; !ok {
-		s.mu.Unlock()
+	exit := s.enter()
+	if _, ok := s.lookupTxn(tid); !ok {
+		exit()
 		return 0, fmt.Errorf("%w: %v", ErrNoTxn, tid)
 	}
+	s.allocMu.Lock()
 	pid := s.nextPage
 	s.nextPage++
-	s.mu.Unlock()
+	s.allocMu.Unlock()
+	exit()
 	// New pages are implicitly exclusive to their creator.
-	if err := sn.s.locks.Lock(tid, pid, lock.Exclusive); err != nil {
+	if err := s.locks.Lock(tid, pid, lock.Exclusive); err != nil {
 		return 0, err
 	}
 	return pid, nil
 }
 
 // ReadPage returns the contents of pid after acquiring the requested lock.
+// The lock is acquired before entering the gate, so a conflict wait never
+// delays a checkpoint.
 func (sn *Session) ReadPage(tid logrec.TID, pid page.ID, mode lock.Mode) ([]byte, error) {
 	s := sn.s
-	if _, ok := s.txnOK(tid); !ok {
+	if _, ok := s.lookupTxn(tid); !ok {
 		return nil, fmt.Errorf("%w: %v", ErrNoTxn, tid)
 	}
 	sn.m.ServerCompute(sn.p.LockReqCPU)
 	if err := s.locks.Lock(tid, pid, mode); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.enter()()
 	sn.m.ServerCompute(sn.p.ServerPage)
-	f, err := s.fetchLocked(sn, pid, true)
+	sh := s.pool.Lock(pid)
+	defer sh.Unlock()
+	f, err := s.fetchShardLocked(sn, sh, pid, true)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]byte, page.Size)
 	copy(out, f.Bytes())
-	s.stats.PagesServed++
+	atomic.AddInt64(&s.stats.PagesServed, 1)
 	return out, nil
 }
 
-func (s *Server) txnOK(tid logrec.TID) (*txn, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.att[tid]
-	return t, ok
-}
-
-// fetchLocked brings pid into the server pool, reading from the WPL log copy
-// or the data volume as appropriate. Caller holds s.mu. If mustExist is
-// false, a missing page is created empty (restart redo path).
-func (s *Server) fetchLocked(sn *Session, pid page.ID, mustExist bool) (*buffer.Frame, error) {
-	if f := s.pool.Get(pid); f != nil {
+// fetchShardLocked brings pid into its pool shard, reading from the WPL log
+// copy or the data volume as appropriate. Caller holds pid's shard latch. If
+// mustExist is false, a missing page is created empty (restart redo path).
+func (s *Server) fetchShardLocked(sn *Session, sh *buffer.PoolShard, pid page.ID, mustExist bool) (*buffer.Frame, error) {
+	if f := sh.Get(pid); f != nil {
 		return f, nil
 	}
+	var wplLSN uint64
+	haveWPL := false
+	if s.cfg.Mode == ModeWPL {
+		s.wplMu.Lock()
+		if e := s.wpl[pid]; e != nil {
+			wplLSN, haveWPL = e.lsn, true
+		}
+		s.wplMu.Unlock()
+	}
 	var buf [page.Size]byte
-	switch {
-	case s.cfg.Mode == ModeWPL && s.wpl[pid] != nil:
+	if haveWPL {
 		// The newest logged copy is the current version (paper §3.4.2:
 		// replaced dirty pages are re-read from the log).
-		e := s.wpl[pid]
-		rec, err := s.log.ReadAt(e.lsn)
+		rec, err := s.log.ReadAt(wplLSN)
 		if err != nil {
 			return nil, fmt.Errorf("server: WPL reload of %v: %w", pid, err)
 		}
 		copy(buf[:], rec.After)
-		sn.m.LogRead(1)
-		s.stats.WPLLogReloads++
-	default:
+		sn.meter().LogRead(1)
+		atomic.AddInt64(&s.stats.WPLLogReloads, 1)
+	} else {
 		err := s.store.ReadPage(pid, buf[:])
 		switch {
 		case errors.Is(err, disk.ErrNotFound) && !mustExist:
@@ -308,67 +511,69 @@ func (s *Server) fetchLocked(sn *Session, pid page.ID, mustExist bool) (*buffer.
 		case err != nil:
 			return nil, err
 		}
-		sn.m.DataRead(1)
-		s.stats.DataReads++
+		sn.meter().DataRead(1)
+		atomic.AddInt64(&s.stats.DataReads, 1)
 	}
-	if err := s.makeRoomLocked(sn); err != nil {
+	if err := s.makeRoomShardLocked(sn, sh); err != nil {
 		return nil, err
 	}
-	return s.pool.Insert(pid, buf[:])
+	return sh.Insert(pid, buf[:])
 }
 
-// makeRoomLocked evicts the LRU frame if the pool is full, handling dirty
-// victims per the recovery mode. Caller holds s.mu.
-func (s *Server) makeRoomLocked(sn *Session) error {
-	if !s.pool.Full() {
+// makeRoomShardLocked evicts the shard's LRU frame if the shard is full,
+// handling dirty victims per the recovery mode. Caller holds the shard latch.
+func (s *Server) makeRoomShardLocked(sn *Session, sh *buffer.PoolShard) error {
+	if !sh.Full() {
 		return nil
 	}
-	v := s.pool.Victim()
+	v := sh.Victim()
 	if v == nil {
 		return fmt.Errorf("%w: server pool wedged", buffer.ErrNoFrame)
 	}
 	pid := v.PID()
 	if v.Dirty() {
-		if err := s.flushVictimLocked(sn, v); err != nil {
+		if err := s.flushVictimShardLocked(sn, sh, v); err != nil {
 			return err
 		}
 	}
-	return s.pool.Remove(pid)
+	return sh.Remove(pid)
 }
 
-// flushVictimLocked handles a dirty page leaving the pool.
-func (s *Server) flushVictimLocked(sn *Session, v *buffer.Frame) error {
+// flushVictimShardLocked handles a dirty page leaving its shard.
+func (s *Server) flushVictimShardLocked(sn *Session, sh *buffer.PoolShard, v *buffer.Frame) error {
 	pid := v.PID()
 	if s.cfg.Mode == ModeWPL {
-		if e := s.wpl[pid]; e != nil && !e.committed {
-			// Uncommitted logged copy: the permanent location must not be
-			// overwritten; the log holds the current version (§3.4.2).
+		s.wplMu.Lock()
+		defer s.wplMu.Unlock()
+		e := s.wpl[pid]
+		if e == nil || !e.committed {
+			// Uncommitted logged copy (or none): the permanent location must
+			// not be overwritten; the log holds the current version (§3.4.2).
 			return nil
 		}
-		if e := s.wpl[pid]; e != nil && e.committed {
-			// Committed but not yet installed: install now. If the data disk
-			// rejects the write (injected or real), the committed image still
-			// lives in the log and the WPL table entry is retained, so reads
-			// reload it from there until a later install succeeds — degrade,
-			// don't fail the eviction.
-			if err := s.installLocked(sn, e, v.Bytes()); err != nil {
-				s.stats.InstallsDeferred++
-			}
-			return nil
+		// Committed but not yet installed: install now. If the data disk
+		// rejects the write (injected or real), the committed image still
+		// lives in the log and the WPL table entry is retained, so reads
+		// reload it from there until a later install succeeds — degrade,
+		// don't fail the eviction.
+		if err := s.installWPLLocked(sn, sh, e); err != nil {
+			atomic.AddInt64(&s.stats.InstallsDeferred, 1)
 		}
 		return nil
 	}
 	// ESM/REDO: write-ahead rule — force the log up to the page's LSN first.
 	pg := page.Wrap(v.Bytes())
 	if pg.LSN() != 0 && pg.LSN() >= s.log.StableEnd() {
-		sn.m.LogWrite(s.log.Force())
+		sn.meter().LogWrite(s.log.Force())
 	}
 	if err := s.store.WritePage(pid, v.Bytes()); err != nil {
 		return err
 	}
-	sn.m.DataWriteAsync(1)
-	s.stats.DataWrites++
+	sn.meter().DataWriteAsync(1)
+	atomic.AddInt64(&s.stats.DataWrites, 1)
+	s.dptMu.Lock()
 	delete(s.dpt, pid)
+	s.dptMu.Unlock()
 	return nil
 }
 
@@ -384,13 +589,12 @@ func (sn *Session) ShipLog(tid logrec.TID, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("server: bad log page from %v: %w", tid, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.att[tid]
+	defer s.enter()()
+	t, ok := s.lookupTxn(tid)
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNoTxn, tid)
 	}
-	s.stats.LogPagesReceived++
+	atomic.AddInt64(&s.stats.LogPagesReceived, 1)
 	sn.m.ServerCompute(sn.p.ServerPage)
 	for _, r := range recs {
 		if r.Type != logrec.TypeUpdate && r.Type != logrec.TypePageImage {
@@ -407,11 +611,13 @@ func (sn *Session) ShipLog(tid logrec.TID, data []byte) error {
 			t.firstLSN = lsn
 		}
 		t.pageLSN[r.Page] = lsn
+		s.dptMu.Lock()
 		if _, ok := s.dpt[r.Page]; !ok {
 			s.dpt[r.Page] = lsn
 		}
+		s.dptMu.Unlock()
 		if s.cfg.Mode == ModeREDO {
-			if err := s.applyLocked(sn, r); err != nil {
+			if err := s.apply(sn, r); err != nil {
 				return err
 			}
 		}
@@ -422,10 +628,17 @@ func (sn *Session) ShipLog(tid logrec.TID, data []byte) error {
 	return nil
 }
 
-// applyLocked applies a log record's redo information to the server's copy
-// of the page (REDO mode and restart redo). Caller holds s.mu.
-func (s *Server) applyLocked(sn *Session, r *logrec.Record) error {
-	f, err := s.fetchLocked(sn, r.Page, false)
+// apply applies a log record's redo information to the server's copy of the
+// page (REDO mode and restart redo), latching its shard.
+func (s *Server) apply(sn *Session, r *logrec.Record) error {
+	sh := s.pool.Lock(r.Page)
+	defer sh.Unlock()
+	return s.applyShardLocked(sn, sh, r)
+}
+
+// applyShardLocked is apply with pid's shard latch already held.
+func (s *Server) applyShardLocked(sn *Session, sh *buffer.PoolShard, r *logrec.Record) error {
+	f, err := s.fetchShardLocked(sn, sh, r.Page, false)
 	if err != nil {
 		return err
 	}
@@ -439,9 +652,9 @@ func (s *Server) applyLocked(sn *Session, r *logrec.Record) error {
 		return fmt.Errorf("server: cannot apply %v", r.Type)
 	}
 	pg.SetLSN(r.LSN)
-	s.pool.MarkDirty(r.Page)
-	sn.m.ServerCompute(sn.p.ServerApply)
-	s.stats.LogRecordsApplied++
+	sh.MarkDirty(r.Page)
+	sn.meter().ServerCompute(sn.params().ServerApply)
+	atomic.AddInt64(&s.stats.LogRecordsApplied, 1)
 	return nil
 }
 
@@ -459,27 +672,28 @@ func (sn *Session) ShipPage(tid logrec.TID, pid page.ID, data []byte) error {
 	if m, ok := s.locks.Holds(tid, pid); !ok || m != lock.Exclusive {
 		return fmt.Errorf("%w: %v ships %v", ErrNotLocked, tid, pid)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.att[tid]
+	defer s.enter()()
+	t, ok := s.lookupTxn(tid)
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNoTxn, tid)
 	}
-	s.stats.DirtyPagesReceived++
+	atomic.AddInt64(&s.stats.DirtyPagesReceived, 1)
 	sn.m.ServerCompute(sn.p.ServerPage)
 	if s.cfg.Mode == ModeWPL {
-		return s.wplShipLocked(sn, t, pid, data)
+		return s.wplShip(sn, t, pid, data)
 	}
 	// ESM: the log records for this page have already arrived; stamp the
 	// page with the last LSN assigned for it so pageLSN-conditional redo is
 	// sound.
-	if err := s.makeRoomLocked(sn); err != nil {
+	sh := s.pool.Lock(pid)
+	defer sh.Unlock()
+	if err := s.makeRoomShardLocked(sn, sh); err != nil {
 		return err
 	}
-	f := s.pool.Get(pid)
+	f := sh.Get(pid)
 	if f == nil {
 		var err error
-		f, err = s.pool.Insert(pid, data)
+		f, err = sh.Insert(pid, data)
 		if err != nil {
 			return err
 		}
@@ -488,16 +702,18 @@ func (sn *Session) ShipPage(tid logrec.TID, pid page.ID, data []byte) error {
 	}
 	if lsn, ok := t.pageLSN[pid]; ok {
 		page.Wrap(f.Bytes()).SetLSN(lsn)
+		s.dptMu.Lock()
 		if _, indpt := s.dpt[pid]; !indpt {
 			s.dpt[pid] = lsn
 		}
+		s.dptMu.Unlock()
 	}
-	s.pool.MarkDirty(pid)
+	sh.MarkDirty(pid)
 	return nil
 }
 
-// wplShipLocked appends the page image to the log and updates the WPL table.
-func (s *Server) wplShipLocked(sn *Session, t *txn, pid page.ID, data []byte) error {
+// wplShip appends the page image to the log and updates the WPL table.
+func (s *Server) wplShip(sn *Session, t *txn, pid page.ID, data []byte) error {
 	r := logrec.NewPageImage(t.tid, pid, data)
 	r.PrevLSN = t.lastLSN
 	lsn, err := s.log.Append(r)
@@ -509,50 +725,61 @@ func (s *Server) wplShipLocked(sn *Session, t *txn, pid page.ID, data []byte) er
 		t.firstLSN = lsn
 	}
 	t.wplPages = append(t.wplPages, pid)
+	s.wplMu.Lock()
 	s.wpl[pid] = &wplEntry{pid: pid, lsn: lsn, tid: t.tid, prev: s.wpl[pid]}
+	s.wplMu.Unlock()
 	sn.m.LogWriteAsync(s.log.ForceFull())
 	// Cache the copy; the permanent location is untouched until install.
-	if err := s.makeRoomLocked(sn); err != nil {
+	sh := s.pool.Lock(pid)
+	defer sh.Unlock()
+	if err := s.makeRoomShardLocked(sn, sh); err != nil {
 		return err
 	}
-	if f := s.pool.Get(pid); f != nil {
+	if f := sh.Get(pid); f != nil {
 		copy(f.Bytes(), data)
-		s.pool.MarkDirty(pid)
-	} else if f, err := s.pool.Insert(pid, data); err != nil {
+		sh.MarkDirty(pid)
+	} else if f, err := sh.Insert(pid, data); err != nil {
 		return err
 	} else {
-		s.pool.MarkDirty(f.PID())
+		sh.MarkDirty(f.PID())
 	}
 	return nil
 }
 
-// Commit commits tid: the commit record and everything before it is forced
-// to the log, then locks are released. Under WPL the transaction's logged
-// pages become installable and the background installer is kicked.
+// Commit commits tid: the commit record and everything before it is made
+// stable — via the group-commit flusher unless group commit is disabled —
+// then locks are released. Under WPL the transaction's logged pages become
+// installable and are installed (inline, or by the background installer).
 func (sn *Session) Commit(tid logrec.TID) error {
 	s := sn.s
-	s.mu.Lock()
-	t, ok := s.att[tid]
+	exit := s.enter()
+	t, ok := s.lookupTxn(tid)
 	if !ok {
-		s.mu.Unlock()
+		exit()
 		return fmt.Errorf("%w: %v", ErrNoTxn, tid)
 	}
 	c := logrec.NewCommit(tid)
 	c.PrevLSN = t.lastLSN
 	if _, err := s.log.Append(c); err != nil {
-		s.mu.Unlock()
+		exit()
 		return err
 	}
 	t.lastLSN = c.LSN
-	sn.m.LogWrite(s.log.Force())
-	s.stats.Commits++
-	if s.cfg.Mode == ModeWPL {
-		if err := s.wplCommitLocked(sn, t); err != nil {
-			s.mu.Unlock()
-			return err
-		}
+	if s.cfg.Serialize || s.cfg.GroupCommitDelay < 0 {
+		sn.m.LogWrite(s.log.Force())
+	} else {
+		// Park until a group flush covers the commit record; the returned
+		// page count is this committer's share of the group's one write.
+		sn.m.LogWrite(s.log.CommitWait(c.LSN + uint64(c.EncodedSize())))
 	}
+	atomic.AddInt64(&s.stats.Commits, 1)
+	if s.cfg.Mode == ModeWPL {
+		s.wplCommit(sn, t)
+	}
+	s.attMu.Lock()
 	delete(s.att, tid)
+	s.attMu.Unlock()
+	s.allocMu.Lock()
 	s.commits++
 	// Checkpoint on schedule, or early when the log is filling (whole-page
 	// logging can write tens of MB per transaction).
@@ -560,7 +787,8 @@ func (sn *Session) Commit(tid logrec.TID) error {
 	if due {
 		s.commits = 0
 	}
-	s.mu.Unlock()
+	s.allocMu.Unlock()
+	exit()
 	s.locks.ReleaseAll(tid)
 	if due {
 		if err := sn.Checkpoint(); err != nil {
@@ -568,67 +796,101 @@ func (sn *Session) Commit(tid logrec.TID) error {
 			// checkpoint is maintenance — on a disk error (injected or real)
 			// abandon it and let a later commit retry, rather than reporting
 			// a failed commit for a committed transaction.
-			s.mu.Lock()
-			s.stats.CheckpointsFailed++
-			s.mu.Unlock()
+			atomic.AddInt64(&s.stats.CheckpointsFailed, 1)
 		}
 	}
 	return nil
 }
 
-// wplCommitLocked marks the transaction's logged pages committed and
-// installs the ones whose entries are chain heads (the asynchronous
-// installer of §3.4.2, run inline at commit).
-func (s *Server) wplCommitLocked(sn *Session, t *txn) error {
+// wplCommit marks the transaction's logged pages committed and installs the
+// ones whose entries are chain heads (the asynchronous installer of §3.4.2 —
+// inline here unless Config.WPLInstallAsync hands the work to the background
+// goroutine).
+func (s *Server) wplCommit(sn *Session, t *txn) {
 	for _, pid := range t.wplPages {
+		s.wplMu.Lock()
 		head := s.wpl[pid]
 		for e := head; e != nil; e = e.prev {
 			if e.tid == t.tid {
 				e.committed = true
 			}
 		}
-		if head != nil && head.tid == t.tid {
-			// Newest copy is ours and now committed: install and drop the
-			// whole chain (older copies are obsolete).
-			var img []byte
-			if f := s.pool.Peek(pid); f != nil {
-				img = f.Bytes() // "marked as read" optimization: cached at commit
-			} else {
-				rec, err := s.log.ReadAt(head.lsn)
-				if err != nil {
-					return fmt.Errorf("server: WPL install of %v: %w", pid, err)
-				}
-				img = rec.After
-				sn.m.LogReadAsync(1)
-				s.stats.WPLLogReloads++
-			}
-			if err := s.installLocked(sn, head, img); err != nil {
-				// The commit record is already forced: the transaction is
-				// durable regardless of this install. Keep the committed
-				// entry (its log copy remains the authoritative version) and
-				// retry at eviction or restart instead of failing the commit.
-				s.stats.InstallsDeferred++
+		mine := head != nil && head.tid == t.tid
+		gen := s.wplGen
+		s.wplMu.Unlock()
+		if !mine {
+			continue
+		}
+		// Newest copy is ours and now committed: install it (dropping the
+		// whole chain — older copies are obsolete).
+		if s.installCh != nil {
+			select {
+			case s.installCh <- installJob{pid: pid, e: head, gen: gen}:
 				continue
-			}
-			if f := s.pool.Peek(pid); f != nil {
-				s.pool.MarkClean(pid)
+			default:
+				// Installer backlogged: fall through and install inline
+				// rather than block the commit path on it.
 			}
 		}
+		s.installHead(sn, pid, head, gen)
 	}
-	return nil
 }
 
-// installLocked writes a committed WPL copy to its permanent location and
-// removes its table entry.
-func (s *Server) installLocked(sn *Session, e *wplEntry, img []byte) error {
+// installWorker is the background WPL installer: one goroutine draining
+// installCh, holding the read side of the gate per job so checkpoint/crash
+// quiesce it.
+func (s *Server) installWorker() {
+	defer s.installWG.Done()
+	for job := range s.installCh {
+		s.gate.RLock()
+		s.installHead(nil, job.pid, job.e, job.gen)
+		s.gate.RUnlock()
+	}
+}
+
+// installHead installs e to pid's permanent location if it is still the
+// committed chain head of generation gen (a crash/restart or a newer copy
+// makes the job stale — validated under wplMu before any write). Install
+// failures degrade: the entry is retained and retried at eviction/restart.
+func (s *Server) installHead(sn *Session, pid page.ID, e *wplEntry, gen uint64) {
+	sh := s.pool.Lock(pid)
+	defer sh.Unlock()
+	s.wplMu.Lock()
+	defer s.wplMu.Unlock()
+	if s.wplGen != gen || s.wpl[pid] != e || !e.committed {
+		return
+	}
+	if err := s.installWPLLocked(sn, sh, e); err != nil {
+		atomic.AddInt64(&s.stats.InstallsDeferred, 1)
+	}
+}
+
+// installWPLLocked writes the committed head copy e to its permanent
+// location and removes its table entry. Caller holds e.pid's shard latch and
+// wplMu, and has validated e == s.wpl[e.pid] && e.committed.
+func (s *Server) installWPLLocked(sn *Session, sh *buffer.PoolShard, e *wplEntry) error {
+	var img []byte
+	cached := sh.Peek(e.pid)
+	if cached != nil {
+		img = cached.Bytes() // "marked as read" optimization: cached at commit
+	} else {
+		rec, err := s.log.ReadAt(e.lsn)
+		if err != nil {
+			return fmt.Errorf("server: WPL install of %v: %w", e.pid, err)
+		}
+		img = rec.After
+		sn.meter().LogReadAsync(1)
+		atomic.AddInt64(&s.stats.WPLLogReloads, 1)
+	}
 	if err := s.store.WritePage(e.pid, img); err != nil {
 		return err
 	}
-	sn.m.DataWriteAsync(1)
-	s.stats.DataWrites++
-	s.stats.WPLInstalls++
-	if s.wpl[e.pid] == e || (s.wpl[e.pid] != nil && s.wpl[e.pid].tid == e.tid) {
-		delete(s.wpl, e.pid)
+	sn.meter().DataWriteAsync(1)
+	atomic.AddInt64(&s.stats.DataWrites, 1)
+	atomic.AddInt64(&s.stats.WPLInstalls, 1)
+	delete(s.wpl, e.pid)
+	if cached != nil {
+		sh.MarkClean(e.pid)
 	}
 	return nil
 }
@@ -638,10 +900,10 @@ func (s *Server) installLocked(sn *Session, e *wplEntry, img []byte) error {
 // simply dropped from the WPL table (§3.4.2: abort by ignoring).
 func (sn *Session) Abort(tid logrec.TID) error {
 	s := sn.s
-	s.mu.Lock()
-	t, ok := s.att[tid]
+	exit := s.enter()
+	t, ok := s.lookupTxn(tid)
 	if !ok {
-		s.mu.Unlock()
+		exit()
 		return fmt.Errorf("%w: %v", ErrNoTxn, tid)
 	}
 	a := logrec.NewAbort(tid)
@@ -649,26 +911,30 @@ func (sn *Session) Abort(tid logrec.TID) error {
 	s.log.Append(a)
 	var err error
 	if s.cfg.Mode == ModeWPL {
-		s.wplAbortLocked(sn, t)
+		s.wplAbort(sn, t)
 	} else {
-		err = s.undoLocked(sn, t, logrec.NoLSN)
+		err = s.undo(sn, t, logrec.NoLSN)
 	}
 	e := logrec.NewEnd(tid)
 	e.PrevLSN = t.lastLSN
 	s.log.Append(e)
 	sn.m.LogWrite(s.log.Force())
-	s.stats.Aborts++
+	atomic.AddInt64(&s.stats.Aborts, 1)
+	s.attMu.Lock()
 	delete(s.att, tid)
-	s.mu.Unlock()
+	s.attMu.Unlock()
+	exit()
 	s.locks.ReleaseAll(tid)
 	return err
 }
 
-// wplAbortLocked unlinks the aborting transaction's copies from the WPL
-// table. If an older committed copy resurfaces as chain head, it is
-// installed so its log space can eventually be reclaimed.
-func (s *Server) wplAbortLocked(sn *Session, t *txn) {
+// wplAbort unlinks the aborting transaction's copies from the WPL table. If
+// an older committed copy resurfaces as chain head, it is installed so its
+// log space can eventually be reclaimed. The aborting transaction still
+// holds its X locks, so no one else can be shipping these pages.
+func (s *Server) wplAbort(sn *Session, t *txn) {
 	for _, pid := range t.wplPages {
+		s.wplMu.Lock()
 		head := s.wpl[pid]
 		// Remove t's entries from the chain.
 		var keep *wplEntry
@@ -683,26 +949,27 @@ func (s *Server) wplAbortLocked(sn *Session, t *txn) {
 		} else {
 			s.wpl[pid] = keep
 		}
+		gen := s.wplGen
+		s.wplMu.Unlock()
 		// The cached copy in the pool is the aborted version; drop it.
-		if f := s.pool.Peek(pid); f != nil {
-			s.pool.MarkClean(pid)
-			s.pool.Remove(pid)
+		sh := s.pool.Lock(pid)
+		if f := sh.Peek(pid); f != nil {
+			sh.MarkClean(pid)
+			sh.Remove(pid)
 		}
+		sh.Unlock()
 		if keep != nil && keep.committed {
-			if rec, err := s.log.ReadAt(keep.lsn); err == nil {
-				sn.m.LogReadAsync(1)
-				s.installLocked(sn, keep, rec.After)
-			}
+			s.installHead(sn, pid, keep, gen)
 		}
 	}
 }
 
-// undoLocked rolls back t's update records down to (but not including)
-// stopAt, writing CLRs. Used by abort (stopAt = NoLSN) and by restart to
-// roll back loser transactions. Undo reads the log, so it begins by forcing
-// the volatile tail.
-func (s *Server) undoLocked(sn *Session, t *txn, stopAt uint64) error {
-	sn.m.LogWrite(s.log.Force())
+// undo rolls back t's update records down to (but not including) stopAt,
+// writing CLRs. Used by abort (stopAt = NoLSN) and by restart to roll back
+// loser transactions. Undo reads the log, so it begins by forcing the
+// volatile tail.
+func (s *Server) undo(sn *Session, t *txn, stopAt uint64) error {
+	sn.meter().LogWrite(s.log.Force())
 	cur := t.lastLSN
 	for cur != logrec.NoLSN && cur != stopAt {
 		r, err := s.log.ReadAt(cur)
@@ -711,29 +978,8 @@ func (s *Server) undoLocked(sn *Session, t *txn, stopAt uint64) error {
 		}
 		switch r.Type {
 		case logrec.TypeUpdate:
-			f, err := s.fetchLocked(sn, r.Page, false)
-			if err != nil {
+			if err := s.undoApply(sn, t, r); err != nil {
 				return err
-			}
-			copy(f.Bytes()[r.Off:int(r.Off)+len(r.Before)], r.Before)
-			clr := &logrec.Record{
-				TID:      t.tid,
-				Type:     logrec.TypeCLR,
-				Page:     r.Page,
-				Off:      r.Off,
-				UndoNext: r.PrevLSN,
-				After:    append([]byte(nil), r.Before...),
-				PrevLSN:  t.lastLSN,
-			}
-			lsn, err := s.log.Append(clr)
-			if err != nil {
-				return err
-			}
-			t.lastLSN = lsn
-			page.Wrap(f.Bytes()).SetLSN(lsn)
-			s.pool.MarkDirty(r.Page)
-			if _, ok := s.dpt[r.Page]; !ok {
-				s.dpt[r.Page] = lsn
 			}
 			cur = r.PrevLSN
 		case logrec.TypeCLR:
@@ -747,6 +993,39 @@ func (s *Server) undoLocked(sn *Session, t *txn, stopAt uint64) error {
 			cur = r.PrevLSN
 		}
 	}
+	return nil
+}
+
+// undoApply reverses one update record and logs its CLR.
+func (s *Server) undoApply(sn *Session, t *txn, r *logrec.Record) error {
+	sh := s.pool.Lock(r.Page)
+	defer sh.Unlock()
+	f, err := s.fetchShardLocked(sn, sh, r.Page, false)
+	if err != nil {
+		return err
+	}
+	copy(f.Bytes()[r.Off:int(r.Off)+len(r.Before)], r.Before)
+	clr := &logrec.Record{
+		TID:      t.tid,
+		Type:     logrec.TypeCLR,
+		Page:     r.Page,
+		Off:      r.Off,
+		UndoNext: r.PrevLSN,
+		After:    append([]byte(nil), r.Before...),
+		PrevLSN:  t.lastLSN,
+	}
+	lsn, err := s.log.Append(clr)
+	if err != nil {
+		return err
+	}
+	t.lastLSN = lsn
+	page.Wrap(f.Bytes()).SetLSN(lsn)
+	sh.MarkDirty(r.Page)
+	s.dptMu.Lock()
+	if _, ok := s.dpt[r.Page]; !ok {
+		s.dpt[r.Page] = lsn
+	}
+	s.dptMu.Unlock()
 	return nil
 }
 
@@ -775,7 +1054,7 @@ func (s *Server) writeSuperblock(sn *Session, sb superblock) error {
 	if err := s.store.WritePage(superblockPage, buf[:]); err != nil {
 		return err
 	}
-	sn.m.DataWriteAsync(1)
+	sn.meter().DataWriteAsync(1)
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/logrec"
 	"repro/internal/page"
@@ -44,6 +45,32 @@ type Log struct {
 	// clamp how far the stable end actually advances, down to not at all.
 	limiter   func(proposed uint64) uint64
 	truncGate func() bool
+
+	// Group commit. Committers park in CommitWait until a flush attempt has
+	// covered their commit LSN; a one-shot flusher goroutine performs one
+	// stable write per group. attempt tracks how far flushes have been
+	// *attempted* (the flush limiter may have clamped the actual stable end):
+	// under fault injection a swallowed flush models a crash, and the commit
+	// call — like the old inline Force — returns rather than hanging.
+	gcCond        *sync.Cond
+	gcDelay       time.Duration // extra wait for a group to form before flushing
+	writeDelay    time.Duration // modeled log-device latency per stable write
+	attempt       uint64        // highest LSN any flush has attempted to make stable
+	gcWaiters     int64
+	flusherOn     bool
+	epoch         uint64 // bumped by Crash so parked committers drain
+	pendingCharge int    // flushed pages not yet charged to a committer's meter
+	gcStats       GroupCommitStats
+}
+
+// GroupCommitStats counts group-commit activity for observability
+// (qsctl stats, the commit-throughput benchmark).
+type GroupCommitStats struct {
+	Commits        int64     // commit waits served
+	Batches        int64     // group flushes performed
+	PagesWritten   int64     // log pages written by group flushes
+	FlushesAvoided int64     // commits that did not need their own stable write
+	BatchSizes     [16]int64 // histogram: group flushes by committer count (last bucket = 15+)
 }
 
 // DefaultCapacity is the log size used when Config.Capacity is zero: 256 MB,
@@ -61,13 +88,16 @@ func New(capacity int) *Log {
 	if capacity == 0 {
 		capacity = DefaultCapacity
 	}
-	return &Log{
+	l := &Log{
 		capacity: uint64(capacity),
 		ring:     make([]byte, capacity),
 		head:     FirstLSN,
 		flushed:  FirstLSN,
 		next:     FirstLSN,
+		attempt:  FirstLSN,
 	}
+	l.gcCond = sync.NewCond(&l.mu)
+	return l
 }
 
 // Append assigns the next LSN to r and stores its encoding in the volatile
@@ -121,6 +151,9 @@ func (l *Log) SetFlushLimiter(fn func(proposed uint64) uint64) {
 // limiter, and returns the number of 8 KB log pages written. Caller holds
 // l.mu.
 func (l *Log) advanceFlushed(proposed uint64) int {
+	if proposed > l.attempt {
+		l.attempt = proposed
+	}
 	if proposed <= l.flushed {
 		return 0
 	}
@@ -145,16 +178,133 @@ func (l *Log) advanceFlushed(proposed uint64) int {
 
 // Force makes every appended record stable and returns the number of 8 KB
 // log pages physically written, so callers can charge the log disk. A force
-// that has nothing to flush writes no pages.
+// that has nothing to flush writes no pages. When a write delay is
+// configured (SetWriteDelay) the caller blocks for one device write.
 func (l *Log) Force() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.writeDelay > 0 && l.next > l.flushed {
+		e := l.epoch
+		l.mu.Unlock()
+		time.Sleep(l.writeDelay)
+		l.mu.Lock()
+		if l.epoch != e {
+			return 0 // crashed while the write was in flight
+		}
+	}
 	n := l.advanceFlushed(l.next)
 	if n > 0 {
 		l.forces++
 		l.pages += int64(n)
 	}
 	return n
+}
+
+// SetGroupCommitDelay sets the extra time a group flush waits for more
+// committers to join before writing (0 = flush as soon as the flusher runs,
+// which still batches every committer already parked).
+func (l *Log) SetGroupCommitDelay(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.gcDelay = d
+}
+
+// SetWriteDelay models the latency of one stable log write (the device the
+// paper's dedicated log disk would be). Force and group flushes block for
+// this long per write; ForceFull (asynchronous full-page writes) does not.
+// The commit-throughput benchmark uses this so group commit shows its real
+// effect — amortizing the device write across a group — even on a machine
+// whose in-memory "log disk" is otherwise free.
+func (l *Log) SetWriteDelay(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.writeDelay = d
+}
+
+// CommitWait makes the record ending at lsn stable via group commit and
+// returns the number of log pages charged to this committer (the whole
+// group's write is charged to the first committer it wakes; the rest charge
+// zero, conserving total pages). The caller must have appended its commit
+// record (so lsn ≤ End()).
+//
+// The commit is satisfied as soon as a flush ATTEMPT covers lsn. Normally
+// the attempt succeeds and the record is stable; under the crash-point
+// sweep's flush limiter the attempt may be swallowed, which models the
+// server dying mid-write — the call returns, exactly as the old inline
+// Force did, and the sweep's recovery invariants treat the transaction by
+// where the durability boundary actually froze.
+func (l *Log) CommitWait(lsn uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.gcStats.Commits++
+	if l.flushed >= lsn || l.attempt >= lsn {
+		// Already stable (or already attempted): no write needed at all.
+		l.gcStats.FlushesAvoided++
+		charge := l.pendingCharge
+		l.pendingCharge = 0
+		return charge
+	}
+	e := l.epoch
+	l.gcWaiters++
+	for l.flushed < lsn && l.attempt < lsn && l.epoch == e {
+		if !l.flusherOn {
+			l.flusherOn = true
+			go l.flushGroup()
+		}
+		l.gcCond.Wait()
+	}
+	l.gcWaiters--
+	charge := l.pendingCharge
+	l.pendingCharge = 0
+	return charge
+}
+
+// flushGroup is the dedicated flusher: it performs one stable write covering
+// every commit parked at the moment of the write, then exits. A committer
+// that arrives mid-flush re-arms it, so there is never more than one flusher
+// and never a lost wakeup. Sleeping happens outside the log lock: the
+// batching delay and the device write time are exactly the windows in which
+// new committers join the group.
+func (l *Log) flushGroup() {
+	l.mu.Lock()
+	gcDelay, writeDelay := l.gcDelay, l.writeDelay
+	l.mu.Unlock()
+	if gcDelay > 0 {
+		time.Sleep(gcDelay)
+	}
+	if writeDelay > 0 {
+		time.Sleep(writeDelay)
+	}
+	l.mu.Lock()
+	batch := l.gcWaiters
+	n := l.advanceFlushed(l.next)
+	if n > 0 {
+		l.forces++
+		l.pages += int64(n)
+		l.pendingCharge += n
+	}
+	l.gcStats.Batches++
+	idx := batch
+	if idx > int64(len(l.gcStats.BatchSizes)-1) {
+		idx = int64(len(l.gcStats.BatchSizes) - 1)
+	}
+	if idx >= 0 {
+		l.gcStats.BatchSizes[idx]++
+	}
+	if batch > 1 {
+		l.gcStats.FlushesAvoided += batch - 1
+	}
+	l.gcStats.PagesWritten += int64(n)
+	l.flusherOn = false
+	l.gcCond.Broadcast()
+	l.mu.Unlock()
+}
+
+// GroupStats returns a snapshot of the group-commit counters.
+func (l *Log) GroupStats() GroupCommitStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gcStats
 }
 
 // ForceFull makes only the complete 8 KB log pages of the volatile tail
@@ -190,6 +340,43 @@ func (l *Log) Crash() {
 	defer l.mu.Unlock()
 	l.next = l.flushed
 	l.trimTornLocked()
+	// Wake committers parked in CommitWait: the LSNs they were waiting on no
+	// longer exist. The epoch bump (rather than an attempt/flushed comparison,
+	// which the trim may have rewound below a waiter's target) is what makes
+	// their wait loops exit.
+	l.epoch++
+	l.attempt = l.flushed
+	l.pendingCharge = 0
+	l.gcCond.Broadcast()
+}
+
+// CrashClone returns an independent copy of the log as a crash with the
+// durability boundary frozen at stableEnd would leave it: records wholly at
+// or below stableEnd (clamped to [Head, End]) are stable, everything above
+// is discarded, and a boundary that falls mid-record is trimmed exactly as
+// Crash trims a torn tail. The receiver is not modified. The group-commit
+// crash sweep uses this to replay one multi-client run at every candidate
+// cut of the volatile region without re-running the workload.
+func (l *Log) CrashClone(stableEnd uint64) *Log {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if stableEnd < l.head {
+		stableEnd = l.head
+	}
+	if stableEnd > l.next {
+		stableEnd = l.next
+	}
+	c := &Log{
+		capacity: l.capacity,
+		ring:     append([]byte(nil), l.ring...),
+		head:     l.head,
+		flushed:  stableEnd,
+		next:     stableEnd,
+	}
+	c.gcCond = sync.NewCond(&c.mu)
+	c.trimTornLocked()
+	c.attempt = c.flushed
+	return c
 }
 
 // trimTornLocked walks record boundaries from the head and truncates the log
@@ -298,6 +485,16 @@ func (l *Log) ReadAt(lsn uint64) (*logrec.Record, error) {
 }
 
 func (l *Log) readAtLocked(lsn uint64) (*logrec.Record, error) {
+	return l.decodeAt(lsn, nil)
+}
+
+// decodeAt decodes the record at lsn. With a nil scratch each call allocates
+// a fresh buffer and the record owns its payload. With a non-nil scratch the
+// encoded bytes are staged in *scratch (grown as needed and reused), so the
+// record's Before/After images alias that buffer and are valid only until
+// the next decodeAt against the same scratch — Scan uses this to decode a
+// whole restart pass with a single payload allocation. Caller holds l.mu.
+func (l *Log) decodeAt(lsn uint64, scratch *[]byte) (*logrec.Record, error) {
 	if lsn < l.head {
 		return nil, fmt.Errorf("%w: %d < head %d", ErrTruncated, lsn, l.head)
 	}
@@ -317,7 +514,15 @@ func (l *Log) readAtLocked(lsn uint64) (*logrec.Record, error) {
 	if lsn+uint64(total) > l.next {
 		return nil, fmt.Errorf("%w: %d bytes at LSN %d", ErrTorn, total, lsn)
 	}
-	buf := make([]byte, total)
+	var buf []byte
+	if scratch != nil {
+		if cap(*scratch) < total {
+			*scratch = make([]byte, total)
+		}
+		buf = (*scratch)[:total]
+	} else {
+		buf = make([]byte, total)
+	}
 	l.readRing(lsn, buf)
 	r, _, err := logrec.Decode(buf)
 	if err != nil {
@@ -337,14 +542,20 @@ func (l *Log) readAtLocked(lsn uint64) (*logrec.Record, error) {
 // LSN order, stopping early if fn returns false. from must be a record
 // boundary at or above the head; passing Head() scans the whole retained
 // log.
+//
+// The record passed to fn reuses one decode buffer across the whole scan:
+// its Before/After images are valid only for the duration of the callback.
+// Callers that retain a record past their callback must Clone it; retaining
+// only scalar fields (TID, Page, LSN, Type) is always safe.
 func (l *Log) Scan(from uint64, fn func(*logrec.Record) bool) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if from < l.head {
 		return fmt.Errorf("%w: scan from %d < head %d", ErrTruncated, from, l.head)
 	}
+	var scratch []byte
 	for lsn := from; lsn < l.next; {
-		r, err := l.readAtLocked(lsn)
+		r, err := l.decodeAt(lsn, &scratch)
 		if errors.Is(err, ErrTorn) || errors.Is(err, ErrBeyondEnd) {
 			return nil // torn tail after a crash: end of usable log
 		}
@@ -362,11 +573,12 @@ func (l *Log) Scan(from uint64, fn func(*logrec.Record) bool) error {
 // ScanBackward collects every stable record in [from, StableEnd) and calls
 // fn from the newest to the oldest, stopping early if fn returns false. This
 // is the access pattern of WPL restart (paper §3.4.3); the caller charges
-// the log disk for the pages touched.
+// the log disk for the pages touched. Records are cloned out of Scan's
+// shared decode buffer, so (unlike Scan) they remain valid after fn returns.
 func (l *Log) ScanBackward(from uint64, fn func(*logrec.Record) bool) error {
 	var recs []*logrec.Record
 	if err := l.Scan(from, func(r *logrec.Record) bool {
-		recs = append(recs, r)
+		recs = append(recs, r.Clone())
 		return true
 	}); err != nil {
 		return err

@@ -13,6 +13,7 @@ package wire
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -37,6 +38,7 @@ const (
 	opCommit
 	opAbort
 	opFaults // arm/disarm a fault plan (management, not part of Service)
+	opStats  // fetch server.StatsX as JSON (management, not part of Service)
 )
 
 // Status codes.
@@ -169,6 +171,8 @@ func serveConn(conn net.Conn, srv *server.Server, opts ServeOpts) {
 		var payload []byte
 		if f.op == opFaults {
 			status, payload = handleFaults(opts.Faults, f.payload)
+		} else if f.op == opStats {
+			status, payload = handleStats(srv)
 		} else {
 			status, payload = dispatch(sn, f)
 		}
@@ -224,6 +228,17 @@ func handleFaults(fs *faultinject.Store, payload []byte) (byte, []byte) {
 	plan.Seed = seed
 	fs.Arm(plan)
 	return stOK, []byte(plan.Name)
+}
+
+// handleStats serves the opStats management op: the server's extended
+// counter snapshot, JSON-encoded (a management op, so a self-describing
+// format beats another hand-rolled binary layout).
+func handleStats(srv *server.Server) (byte, []byte) {
+	out, err := json.Marshal(srv.ExtendedStats())
+	if err != nil {
+		return stError, []byte(err.Error())
+	}
+	return stOK, out
 }
 
 func dispatch(sn *server.Session, f frame) (byte, []byte) {
@@ -403,6 +418,19 @@ func (c *TCPClient) Faults(arm bool, name string, seed int64) (string, error) {
 	copy(payload[9:], name)
 	out, err := c.call(frame{op: opFaults, payload: payload})
 	return string(out), err
+}
+
+// ServerStats fetches the daemon's extended counter snapshot (qsctl stats).
+func (c *TCPClient) ServerStats() (server.StatsX, error) {
+	out, err := c.call(frame{op: opStats})
+	if err != nil {
+		return server.StatsX{}, err
+	}
+	var x server.StatsX
+	if err := json.Unmarshal(out, &x); err != nil {
+		return server.StatsX{}, fmt.Errorf("wire: bad stats response: %w", err)
+	}
+	return x, nil
 }
 
 // Begin implements Service.
