@@ -1,14 +1,15 @@
 # Developer/CI entry points. `make check` is the gate: vet, build, the full
 # test suite under the race detector, a short crash-point sweep smoke
 # (50 replayed crash points per recovery scheme; see DESIGN.md §8), the
-# concurrent-server tests under -race, and the 2-client group-commit sweep
-# smoke (DESIGN.md §9).
+# concurrent-server tests under -race, the 2-client group-commit sweep
+# smoke (DESIGN.md §9), the media-failure sweep smoke and the race-enabled
+# archive backup/restore round-trip (DESIGN.md §10).
 
 GO ?= go
 
-.PHONY: check vet build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke bench-commit
+.PHONY: check vet build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive bench-commit
 
-check: vet build race sweep-smoke race-concurrent group-sweep-smoke
+check: vet build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +39,17 @@ race-concurrent:
 # formation and the stable flush, one scheme, under -race.
 group-sweep-smoke:
 	$(GO) test -race ./internal/harness/ -run TestGroupCommitSweepSmoke -count=1
+
+# Media-failure sweep: destroy the volume, restore from the fuzzy online
+# backup plus the archived log at every archive boundary event and sampled
+# point-in-time cuts, all five schemes (DESIGN.md §10).
+media-sweep-smoke:
+	$(GO) test ./internal/harness/ -run TestMediaSweepSmoke -count=1
+
+# Archive round-trip (segment/backup framing, truncation gate with batches
+# in flight, restore re-runnability, corruption detection) under -race.
+race-archive:
+	$(GO) test -race ./internal/archive/ -count=1
 
 # Multi-client commit-throughput benchmark: serialized baseline vs group
 # commit, per scheme, writing BENCH_commit.json.

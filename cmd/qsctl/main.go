@@ -18,7 +18,15 @@
 // buffer-pool and latch behaviour, restart redo utilization):
 //
 //	qsctl stats            # human-readable counter summary
-//	qsctl stats -json      # raw JSON (server.StatsX)
+//	qsctl stats -json      # raw JSON (wire.DaemonStats)
+//
+// When the daemon archives its log (-archive-dir), qsctl also drives media
+// recovery (see the README walkthrough):
+//
+//	qsctl backup                                  # fuzzy online backup, no quiesce
+//	qsctl archive-status                          # archiver lag and backup positions
+//	qsctl restore -archive-dir DIR -data VOL      # offline: rebuild a destroyed volume
+//	qsctl restore -archive-dir DIR -data VOL -target 123456   # point-in-time
 package main
 
 import (
@@ -31,7 +39,10 @@ import (
 	"time"
 
 	quickstore "repro"
+	"repro/internal/archive"
+	"repro/internal/disk"
 	"repro/internal/faultinject"
+	"repro/internal/server"
 	"repro/internal/wire"
 )
 
@@ -44,7 +55,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench | stats [-json] | faults arm <plan> | faults disarm | faults list")
+		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench | stats [-json] | backup | archive-status | restore [flags] | faults arm <plan> | faults disarm | faults list")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "faults" {
@@ -56,6 +67,20 @@ func main() {
 	}
 	if flag.Arg(0) == "stats" {
 		if err := statsCmd(*addr, flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.Arg(0) == "backup" || flag.Arg(0) == "archive-status" {
+		if err := archiveCmd(*addr, flag.Arg(0)); err != nil {
+			fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.Arg(0) == "restore" {
+		if err := restoreCmd(flag.Args()[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
 			os.Exit(1)
 		}
@@ -229,6 +254,105 @@ func statsCmd(addr string, args []string) error {
 	if x.RedoWorkers > 0 {
 		fmt.Printf("restart redo     workers=%d applied=%v\n", x.RedoWorkers, x.RedoApplied)
 	}
+	if a := x.Archive; a != nil {
+		fmt.Printf("archiver         gen=%d segments=%d archived_to=%d lag=%dB (%d segments behind)\n",
+			a.Generation, a.Segments, a.ArchivedUpTo, a.LagBytes, a.SegmentsBehind)
+		fmt.Printf("  backups        count=%d last_backup_lsn=%d\n", a.Backups, a.LastBackupLSN)
+	}
+	return nil
+}
+
+// archiveCmd serves the backup and archive-status subcommands against a live
+// daemon.
+func archiveCmd(addr, cmd string) error {
+	cli, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	switch cmd {
+	case "backup":
+		info, err := cli.Backup()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("backup %s: %d pages, redo from %d, fuzz window [%d, %d)\n",
+			info.Name, info.Pages, info.RedoStart, info.Start, info.End)
+		return nil
+	case "archive-status":
+		st, err := cli.ArchiveStatus()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generation       %d\n", st.Generation)
+		fmt.Printf("segments         %d (%d bytes archived)\n", st.Segments, st.SegmentBytes)
+		fmt.Printf("archived up to   %d (stable end %d)\n", st.ArchivedUpTo, st.StableEnd)
+		fmt.Printf("lag              %d bytes, %d segments behind\n", st.LagBytes, st.SegmentsBehind)
+		fmt.Printf("backups          %d (last at LSN %d)\n", st.Backups, st.LastBackupLSN)
+		return nil
+	}
+	return fmt.Errorf("unknown archive command %q", cmd)
+}
+
+// restoreCmd rebuilds a destroyed volume file from an archive directory. It
+// runs offline (against the filesystem, not the daemon): media recovery is
+// what happens when the server's volume is gone. The recovered pages are
+// staged into <data>.tmp and renamed over <data> only after restart
+// completes, so a crash mid-restore leaves a stale temp file and a cleanly
+// re-runnable restore, never a half-written volume.
+func restoreCmd(args []string) error {
+	fs := flag.NewFlagSet("restore", flag.ContinueOnError)
+	var (
+		dir     = fs.String("archive-dir", "", "archive directory (required)")
+		data    = fs.String("data", "", "destination volume file (required)")
+		mode    = fs.String("mode", "esm", "recovery mode the server ran: esm|redo|wpl")
+		target  = fs.Uint64("target", 0, "point-in-time target LSN (0 = end of archive)")
+		workers = fs.Int("workers", 0, "parallel redo workers (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" || *data == "" {
+		return fmt.Errorf("usage: restore -archive-dir DIR -data VOL [-mode esm|redo|wpl] [-target LSN] [-workers N]")
+	}
+	var m server.Mode
+	switch *mode {
+	case "esm":
+		m = server.ModeESM
+	case "redo":
+		m = server.ModeREDO
+	case "wpl":
+		m = server.ModeWPL
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	blobs, err := archive.OpenDir(*dir)
+	if err != nil {
+		return err
+	}
+	tmp := *data + ".tmp"
+	if err := os.Remove(tmp); err != nil && !os.IsNotExist(err) {
+		return err // a stale temp volume from a crashed restore is discarded
+	}
+	res, err := archive.Restore(blobs, archive.RestoreOptions{
+		Mode:        m,
+		TargetLSN:   *target,
+		RedoWorkers: *workers,
+		NewStore: func() (disk.Store, error) {
+			return disk.OpenFileStore(tmp)
+		},
+		Finish: func(st disk.Store) error {
+			if err := st.Close(); err != nil {
+				return err
+			}
+			return os.Rename(tmp, *data)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("restored %s from %s: replayed %d records in %d segments to LSN %d (backup %s)\n",
+		*data, *dir, res.Records, res.Segments, res.CutLSN, res.Backup.Name)
 	return nil
 }
 

@@ -15,11 +15,14 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"repro/internal/archive"
 	"repro/internal/disk"
 	"repro/internal/faultinject"
 	"repro/internal/page"
 	"repro/internal/server"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -34,6 +37,8 @@ func main() {
 		shards  = flag.Int("shards", 0, "buffer pool latch shards (0 = default)")
 		serial  = flag.Bool("serialize", false, "serialize all sessions on one mutex (pre-group-commit behaviour)")
 		wplSync = flag.Bool("wpl-sync-install", false, "wpl: install committed pages inline at commit instead of in the background")
+		archDir = flag.String("archive-dir", "", "archive log segments and backups into this directory (empty = no archiving)")
+		archInt = flag.Duration("archive-every", 5*time.Second, "background archiver drain interval")
 	)
 	flag.Parse()
 
@@ -73,12 +78,43 @@ func main() {
 	// until a plan is armed (qsctl faults arm <plan>).
 	faults := faultinject.NewStore(vol)
 	cfg.Store = faults
+	cfg.Log = wal.New(cfg.LogCapacity)
+	var arch *archive.Archiver
+	if *archDir != "" {
+		blobs, err := archive.OpenDir(*archDir)
+		if err != nil {
+			log.Fatalf("quickstored: opening archive: %v", err)
+		}
+		arch, err = archive.NewArchiver(cfg.Log, faults, blobs, archive.Options{})
+		if err != nil {
+			log.Fatalf("quickstored: starting archiver: %v", err)
+		}
+		archive.Wire(&cfg, arch)
+	}
 	srv := server.New(cfg)
 	if recover {
 		if err := srv.NewSession(nil, nil).Restart(); err != nil {
 			log.Fatalf("quickstored: recovery: %v", err)
 		}
 		log.Printf("recovered volume %s", *data)
+	}
+	if arch != nil {
+		// The in-memory log restarts its LSN space every process start, so
+		// each archiver generation begins with a base backup: everything a
+		// restore needs from earlier generations is inside it.
+		info, err := arch.Backup()
+		if err != nil {
+			log.Fatalf("quickstored: initial base backup: %v", err)
+		}
+		log.Printf("archiving to %s (generation %d, base backup of %d pages at LSN %d)",
+			*archDir, arch.Generation(), info.Pages, info.End)
+		go func() {
+			for range time.Tick(*archInt) {
+				if err := arch.Drain(); err != nil {
+					log.Printf("archiver: %v", err)
+				}
+			}
+		}()
 	}
 
 	lis, err := net.Listen("tcp", *addr)
@@ -98,13 +134,18 @@ func main() {
 		if err := srv.NewSession(nil, nil).Checkpoint(); err != nil {
 			log.Printf("checkpoint failed: %v", err)
 		}
+		if arch != nil {
+			if err := arch.Drain(); err != nil {
+				log.Printf("final archive drain failed: %v", err)
+			}
+		}
 		st := srv.Stats()
 		log.Printf("served %d commits, %d aborts, %d pages", st.Commits, st.Aborts, st.PagesServed)
 		lis.Close()
 		os.Exit(0)
 	}()
 
-	if err := wire.ServeWith(lis, srv, wire.ServeOpts{Faults: faults}); err != nil {
+	if err := wire.ServeWith(lis, srv, wire.ServeOpts{Faults: faults, Archive: arch}); err != nil {
 		log.Fatalf("quickstored: %v", err)
 	}
 }

@@ -1,0 +1,157 @@
+// Package archive implements the media-recovery layer on top of the crash
+// recovery core: a log archiver that drains the circular WAL into immutable,
+// checksummed segments before truncation; online fuzzy backup of the data
+// volume; and media restore / point-in-time recovery that rebuilds a
+// destroyed volume from backup + archived log, correct for all five
+// recovery schemes. See DESIGN.md §10.
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrBlobNotFound is returned by Get for a name that was never Put.
+var ErrBlobNotFound = errors.New("archive: blob not found")
+
+// BlobStore is write-once storage for archive artifacts (log segments,
+// backups, generation markers). Put must be atomic: a name either holds the
+// full blob or does not exist (DirBlobs writes a temp file and renames).
+// Names are flat; List returns them sorted, which the naming scheme in
+// segment.go exploits so lexical order equals LSN order.
+type BlobStore interface {
+	Put(name string, data []byte) error
+	Get(name string) ([]byte, error)
+	List() ([]string, error)
+	Delete(name string) error
+}
+
+// MemBlobs is an in-memory BlobStore for tests and sweeps.
+type MemBlobs struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+// NewMemBlobs returns an empty in-memory blob store.
+func NewMemBlobs() *MemBlobs { return &MemBlobs{blobs: make(map[string][]byte)} }
+
+// Put implements BlobStore.
+func (m *MemBlobs) Put(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blobs[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements BlobStore.
+func (m *MemBlobs) Get(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.blobs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrBlobNotFound, name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List implements BlobStore.
+func (m *MemBlobs) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.blobs))
+	for n := range m.blobs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete implements BlobStore.
+func (m *MemBlobs) Delete(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.blobs, name)
+	return nil
+}
+
+// DirBlobs is a BlobStore backed by a flat directory: one file per blob.
+type DirBlobs struct {
+	dir string
+}
+
+// OpenDir creates the directory if needed and returns a store over it.
+func OpenDir(dir string) (*DirBlobs, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirBlobs{dir: dir}, nil
+}
+
+// Put implements BlobStore: write to a temp file, then rename, so a crash
+// mid-write never leaves a half-blob under the final name.
+func (d *DirBlobs) Put(name string, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(d.dir, name))
+}
+
+// Get implements BlobStore.
+func (d *DirBlobs) Get(name string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(d.dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrBlobNotFound, name)
+	}
+	return data, err
+}
+
+// List implements BlobStore. Leftover temp files from crashed Puts are
+// invisible (and harmless) because they never match an archive blob name.
+func (d *DirBlobs) List() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete implements BlobStore.
+func (d *DirBlobs) Delete(name string) error {
+	err := os.Remove(filepath.Join(d.dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+var (
+	_ BlobStore = (*MemBlobs)(nil)
+	_ BlobStore = (*DirBlobs)(nil)
+)

@@ -1,0 +1,268 @@
+package archive
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// Wire connects an archiver to a server configuration:
+//
+//   - the wal archive gate, so the log can never reclaim unarchived records
+//     (even when a group-commit batch spans the truncation point — the gate
+//     runs inside Truncate under the log mutex, after every batching
+//     decision has resolved);
+//   - Config.PreTruncate, so checkpoints drain the archive up to their
+//     computed head before truncating (the normal, non-deferred path);
+//   - Config.PostCommit, the backpressure hook: a committer that finds the
+//     archiver more than MaxLagBytes behind drains inline, bounding lag.
+//
+// Call before server.New; cfg.Log must be the same log the archiver drains.
+func Wire(cfg *server.Config, a *Archiver) {
+	if cfg.Log != a.log {
+		panic("archive: Wire with a different log than the archiver drains")
+	}
+	a.log.SetArchiveGate(func(newHead uint64) bool {
+		return newHead <= a.archivedUpTo.Load()
+	})
+	cfg.PreTruncate = a.DrainTo
+	cfg.PostCommit = func() {
+		if a.Lag() > a.opts.MaxLagBytes {
+			a.Drain() // best effort; the gate keeps correctness regardless
+		}
+	}
+}
+
+// RestoreOptions configures a media restore.
+type RestoreOptions struct {
+	// Mode is the recovery scheme the destroyed server ran (restart replay
+	// differs per scheme; WPL restores use the backward-scan restart).
+	Mode server.Mode
+	// TargetLSN, when non-zero, is the point-in-time recovery cut: replay
+	// stops at the last whole record ending at or before it, and the restart
+	// pass rolls back every transaction without a commit record in that
+	// prefix. Zero means end of archive.
+	TargetLSN uint64
+	// RedoWorkers is forwarded to the restored server's restart (parallel
+	// redo fan-out).
+	RedoWorkers int
+	// PoolPages is forwarded to the restored server (default server pool
+	// size if zero).
+	PoolPages int
+	// NewStore supplies the replacement volume (a fresh staging volume — the
+	// old one is destroyed). Defaults to an in-memory store.
+	NewStore func() (disk.Store, error)
+	// Finish, when non-nil, is called with the fully recovered staging
+	// volume after restart completes, and only then — a crash anywhere
+	// earlier leaves the staging volume abandoned and the restore cleanly
+	// re-runnable. qsctl restore uses it to atomically rename the staged
+	// volume file over the destination. When Finish is set the restored
+	// server is shut down before the handoff and Result.Server is nil.
+	Finish func(disk.Store) error
+}
+
+// RestoreResult reports a completed restore.
+type RestoreResult struct {
+	Store    disk.Store     // the recovered volume
+	Server   *server.Server // live recovered server (nil when Finish was used)
+	Backup   BackupInfo     // the base backup used
+	CutLSN   uint64         // LSN the log was replayed to
+	Segments int            // archive segments replayed
+	Records  int            // log records re-appended
+}
+
+// restoreLogSlack is extra rebuilt-log capacity beyond the archived span,
+// for the restart pass's own records (loser CLRs, the closing checkpoint).
+const restoreLogSlack = 8 << 20
+
+// Restore rebuilds a destroyed volume from the newest usable backup plus the
+// archived log, replaying to the end of the archive or to opts.TargetLSN.
+//
+// The rebuilt log is a fresh wal ring seeded at the backup's RedoStart
+// (wal.NewAt): archived records re-appended in order are contiguous, so each
+// receives exactly the LSN it had when first logged, and every LSN embedded
+// elsewhere — page headers, checkpoint payloads, the superblock's master
+// record — resolves against the rebuilt log unchanged. Recovery itself is
+// the server's own Restart: analysis from the backed-up superblock's
+// checkpoint, scheme-appropriate redo (parallel fan-out for ESM/REDO, the
+// backward CTL scan for WPL), then rollback of every transaction the
+// replayed prefix does not commit — which is exactly prefix consistency at
+// the cut LSN.
+//
+// Restore never writes to the archive and stages into a fresh volume, so it
+// is idempotent: run it again after a crash and it performs the same work.
+func Restore(blobs BlobStore, opts RestoreOptions) (*RestoreResult, error) {
+	target := opts.TargetLSN
+	if target == 0 {
+		target = ^uint64(0)
+	}
+	backup, pages, err := pickBackup(blobs, target)
+	if err != nil {
+		return nil, err
+	}
+	chain, err := segmentChain(blobs, backup, target)
+	if err != nil {
+		return nil, err
+	}
+
+	newStore := opts.NewStore
+	if newStore == nil {
+		newStore = func() (disk.Store, error) { return disk.NewMemStore(), nil }
+	}
+	store, err := newStore()
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*RestoreResult, error) {
+		store.Close()
+		return nil, err
+	}
+	for id, img := range pages {
+		if err := store.WritePage(id, img); err != nil {
+			return fail(fmt.Errorf("archive: restoring page %v: %w", id, err))
+		}
+	}
+
+	span := 0
+	if end := chainEnd(chain, backup); end > backup.RedoStart {
+		span = int(end - backup.RedoStart)
+	}
+	log := wal.NewAt(span+restoreLogSlack, backup.RedoStart)
+	cut := backup.RedoStart
+	records := 0
+replay:
+	for _, seg := range chain {
+		recs, err := ReadSegment(blobs, seg)
+		if err != nil {
+			return fail(err)
+		}
+		for _, r := range recs {
+			end := r.LSN + uint64(r.EncodedSize())
+			if r.LSN < backup.RedoStart {
+				continue // archived before the backup's redo horizon
+			}
+			if end > target {
+				break replay // PITR cut: the prefix ends at the last whole record
+			}
+			want := r.LSN
+			got, err := log.Append(r)
+			if err != nil {
+				return fail(fmt.Errorf("archive: rebuilding log: %w", err))
+			}
+			if got != want {
+				return fail(fmt.Errorf("%w: record at LSN %d re-appended at %d (segment %s)",
+					ErrArchiveGap, want, got, seg.Name))
+			}
+			cut = end
+			records++
+		}
+	}
+	if cut < backup.End {
+		return fail(fmt.Errorf("%w: replay reaches %d, backup fuzz window ends at %d",
+			ErrArchiveGap, cut, backup.End))
+	}
+	log.Force()
+
+	srv := server.New(server.Config{
+		Mode:        opts.Mode,
+		Store:       store,
+		Log:         log,
+		PoolPages:   opts.PoolPages,
+		RedoWorkers: opts.RedoWorkers,
+	})
+	sn := srv.NewSession(nil, nil)
+	if err := sn.Restart(); err != nil {
+		srv.Close()
+		return fail(fmt.Errorf("archive: restart on restored volume: %w", err))
+	}
+	res := &RestoreResult{
+		Store:    store,
+		Server:   srv,
+		Backup:   backup,
+		CutLSN:   cut,
+		Segments: len(chain),
+		Records:  records,
+	}
+	if opts.Finish != nil {
+		srv.Close()
+		res.Server = nil
+		if err := opts.Finish(store); err != nil {
+			return nil, fmt.Errorf("archive: finishing restore: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// pickBackup selects the newest backup usable for a restore to target: from
+// the newest generation holding any backup with End ≤ target, the newest
+// such backup. Its pages are decoded (and checksummed) here.
+func pickBackup(blobs BlobStore, target uint64) (BackupInfo, map[page.ID][]byte, error) {
+	gens, err := Generations(blobs)
+	if err != nil {
+		return BackupInfo{}, nil, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		backups, err := ListBackups(blobs, gens[i])
+		if err != nil {
+			return BackupInfo{}, nil, err
+		}
+		for j := len(backups) - 1; j >= 0; j-- {
+			if backups[j].End > target {
+				continue // the fuzz window must be wholly inside the replayed prefix
+			}
+			data, err := blobs.Get(backups[j].Name)
+			if err != nil {
+				return BackupInfo{}, nil, err
+			}
+			info, pages, err := decodeBackup(backups[j].Name, data)
+			if err != nil {
+				return BackupInfo{}, nil, err
+			}
+			info.Gen = gens[i]
+			return info, pages, nil
+		}
+	}
+	return BackupInfo{}, nil, fmt.Errorf("%w: target LSN %d", ErrNoBackup, target)
+}
+
+// segmentChain returns the contiguous run of backup-generation segments
+// covering [backup.RedoStart, …): starting with the segment containing
+// RedoStart, each following segment must begin where the previous ended.
+func segmentChain(blobs BlobStore, backup BackupInfo, target uint64) ([]SegmentInfo, error) {
+	segs, err := ListSegments(blobs, backup.Gen)
+	if err != nil {
+		return nil, err
+	}
+	var chain []SegmentInfo
+	next := backup.RedoStart
+	for _, s := range segs {
+		if s.End <= next {
+			continue // wholly before the redo horizon
+		}
+		if s.Start > next {
+			break // gap; anything beyond it is unreachable
+		}
+		chain = append(chain, s)
+		next = s.End
+		if next >= target {
+			break
+		}
+	}
+	if next < backup.End {
+		return nil, fmt.Errorf("%w: generation %d archived to %d, backup fuzz window ends at %d",
+			ErrArchiveGap, backup.Gen, next, backup.End)
+	}
+	return chain, nil
+}
+
+// chainEnd returns the last LSN the chain can replay to.
+func chainEnd(chain []SegmentInfo, backup BackupInfo) uint64 {
+	end := backup.End
+	if n := len(chain); n > 0 && chain[n-1].End > end {
+		end = chain[n-1].End
+	}
+	return end
+}

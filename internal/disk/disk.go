@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
 	"repro/internal/page"
@@ -25,6 +26,14 @@ type Store interface {
 	WritePage(id page.ID, data []byte) error
 	// Pages returns the number of distinct pages ever written.
 	Pages() int
+	// ForEachPage calls fn for every stored page in ascending id order,
+	// stopping at the first error. The data slice is valid only for the
+	// duration of the callback. The iteration is fuzzy by design: the page
+	// set is snapshotted up front but each page is read individually, so
+	// pages written concurrently may be observed either before or after
+	// their update — the contract online backup needs (each page copy is
+	// individually atomic; cross-page consistency comes from log replay).
+	ForEachPage(fn func(id page.ID, data []byte) error) error
 	// Close releases resources.
 	Close() error
 }
@@ -76,6 +85,32 @@ func (s *MemStore) Pages() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.pages)
+}
+
+// ForEachPage implements Store. The id set is snapshotted under the lock,
+// then pages are read one at a time, so concurrent writers are never blocked
+// for the whole scan (fuzzy backup reads the volume while transactions run).
+func (s *MemStore) ForEachPage(fn func(id page.ID, data []byte) error) error {
+	s.mu.RLock()
+	ids := make([]page.ID, 0, len(s.pages))
+	for id := range s.pages {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var buf [page.Size]byte
+	for _, id := range ids {
+		if err := s.ReadPage(id, buf[:]); err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // vanished mid-scan; nothing stable to copy
+			}
+			return err
+		}
+		if err := fn(id, buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close implements Store.
@@ -155,6 +190,27 @@ func (s *FileStore) Pages() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return int(s.size / page.Size)
+}
+
+// ForEachPage implements Store. The file length is snapshotted, then pages
+// are read one at a time under the lock.
+func (s *FileStore) ForEachPage(fn func(id page.ID, data []byte) error) error {
+	s.mu.Lock()
+	n := s.size / page.Size
+	s.mu.Unlock()
+	var buf [page.Size]byte
+	for id := page.ID(0); int64(id) < n; id++ {
+		if err := s.ReadPage(id, buf[:]); err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			return err
+		}
+		if err := fn(id, buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close implements Store.

@@ -78,6 +78,7 @@ type Plan struct {
 	WriteErrorRate float64 // WritePage fails with a transient error
 	TornWriteRate  float64 // WritePage persists only a sector-aligned prefix, then fails
 	ReorderWindow  int     // buffer up to N writes and apply them in shuffled order
+	BitFlipRate    float64 // Blobs wrapper: a stored blob silently gets one bit flipped
 
 	// Transport faults (Transport wrapper).
 	DropRate      float64       // request is never sent; caller sees a timeout-like error
@@ -95,6 +96,7 @@ func Plans() map[string]Plan {
 		"eio":       {Name: "eio", ReadErrorRate: 0.05, WriteErrorRate: 0.05},
 		"torn":      {Name: "torn", TornWriteRate: 0.10},
 		"reorder":   {Name: "reorder", ReorderWindow: 8},
+		"bitrot":    {Name: "bitrot", BitFlipRate: 0.25},
 		"flaky-net": {Name: "flaky-net", DropRate: 0.05, DupRate: 0.02, DelayRate: 0.10, MaxDelay: 2 * time.Millisecond},
 		"chaos": {Name: "chaos", ReadErrorRate: 0.02, WriteErrorRate: 0.02, TornWriteRate: 0.02,
 			DropRate: 0.02, DupRate: 0.01, DelayRate: 0.05, ResetOnCommit: 0.05},

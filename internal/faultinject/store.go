@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/disk"
@@ -193,6 +194,43 @@ func (s *Store) rngIntn(n int) int {
 
 // Pages implements disk.Store.
 func (s *Store) Pages() int { return s.inner.Pages() }
+
+// ForEachPage implements disk.Store. The scan observes writes buffered in
+// the reorder window (as the OS cache would) and is not itself subject to
+// injected read faults: it models a bulk volume scan (online backup), whose
+// per-page errors the fault plans do not target.
+func (s *Store) ForEachPage(fn func(id page.ID, data []byte) error) error {
+	s.mu.Lock()
+	overlay := make(map[page.ID][]byte, len(s.pending))
+	for _, p := range s.pending {
+		overlay[p.id] = append([]byte(nil), p.data...) // newest write wins
+	}
+	s.mu.Unlock()
+	seen := make(map[page.ID]bool, len(overlay))
+	if err := s.inner.ForEachPage(func(id page.ID, data []byte) error {
+		if buf, ok := overlay[id]; ok {
+			seen[id] = true
+			return fn(id, buf)
+		}
+		return fn(id, data)
+	}); err != nil {
+		return err
+	}
+	// Buffered writes to pages the underlying store has never seen.
+	rest := make([]page.ID, 0, len(overlay))
+	for id := range overlay {
+		if !seen[id] {
+			rest = append(rest, id)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	for _, id := range rest {
+		if err := fn(id, overlay[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Close implements disk.Store.
 func (s *Store) Close() error { return s.inner.Close() }

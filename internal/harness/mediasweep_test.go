@@ -1,0 +1,35 @@
+package harness
+
+import "testing"
+
+// TestMediaSweepSmoke restores every archive boundary event plus a budget
+// of sampled point-in-time cuts for each of the five recovery schemes.
+func TestMediaSweepSmoke(t *testing.T) {
+	const seed = 7
+	budget := 6
+	if testing.Short() {
+		budget = 2
+	}
+	for _, sys := range SweepSystems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := MediaSweep(sys, seed, budget)
+			if err != nil {
+				t.Fatalf("media sweep: %v", err)
+			}
+			for _, f := range rep.Failures {
+				t.Error(f)
+			}
+			if len(rep.Cuts) < 3 {
+				t.Fatalf("only %d cuts enumerated (segments=%d backupEnd=%d): sweep too weak",
+					len(rep.Cuts), rep.Segments, rep.Backup)
+			}
+			if rep.Segments < 2 {
+				t.Fatalf("only %d archive segments sealed: segment size too large for the workload", rep.Segments)
+			}
+			t.Logf("system=%s segments=%d cuts=%d backupEnd=%d",
+				sys.Name, rep.Segments, len(rep.Cuts), rep.Backup)
+		})
+	}
+}

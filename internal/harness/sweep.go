@@ -72,7 +72,6 @@ const (
 	sweepClientPool  = 48
 	sweepLogCapacity = 32 << 20
 	sweepCkptEvery   = 3
-	sweepProbePages  = 4096 // page-id probe bound when dumping a store
 )
 
 // sweepDBConfig is the miniature OO7 database used by the sweep.
@@ -461,20 +460,19 @@ func verifyStamps(sys SweepSystem, run *sweepRun, srv2 *server.Server, point int
 }
 
 // dumpStore snapshots every data page (the superblock, page 0, is excluded:
-// restart legitimately rewrites its checkpoint pointer and counters).
-func dumpStore(st *faultinject.Store) (map[page.ID][]byte, error) {
+// restart legitimately rewrites its checkpoint pointer and counters). It
+// accepts any disk.Store — the crash sweeps pass the fault-injecting
+// wrapper, the media sweep passes restored volumes.
+func dumpStore(st disk.Store) (map[page.ID][]byte, error) {
 	out := make(map[page.ID][]byte)
-	found := 0
-	var buf [page.Size]byte
-	for id := page.ID(1); id < sweepProbePages && found < st.Pages(); id++ {
-		err := st.ReadPage(id, buf[:])
-		if err != nil {
-			continue // not written: absent from the dump
+	err := st.ForEachPage(func(id page.ID, data []byte) error {
+		if id == 0 {
+			return nil
 		}
-		found++
-		out[id] = append([]byte(nil), buf[:]...)
-	}
-	return out, nil
+		out[id] = append([]byte(nil), data...)
+		return nil
+	})
+	return out, err
 }
 
 // diffDumps describes the first difference between two store dumps, or ""

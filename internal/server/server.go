@@ -128,6 +128,20 @@ type Config struct {
 	// RedoWorkers is the number of parallel restart-redo workers
 	// (0 = GOMAXPROCS, 1 = sequential redo).
 	RedoWorkers int
+	// PreTruncate, when non-nil, runs before a checkpoint truncates the log,
+	// with the head the checkpoint computed. The log archiver (internal/
+	// archive) hooks here to drain [Head, newHead) into archive segments
+	// before the space is reclaimed; on error the truncation is skipped (the
+	// wal archive gate would refuse it anyway) and the checkpoint still
+	// succeeds — archiving lag must never fail a commit's piggy-backed
+	// checkpoint.
+	PreTruncate func(newHead uint64) error
+	// PostCommit, when non-nil, runs after each successful commit, outside
+	// the quiesce gate and with no locks held. The archiver hooks here for
+	// backpressure: when its lag exceeds the configured bound, the committing
+	// session drains the archive before proceeding, bounding how far the
+	// archive can fall behind the log.
+	PostCommit func()
 }
 
 // DefaultPoolPages is 36 MB of 8 KB frames, the paper's server memory.
@@ -798,6 +812,9 @@ func (sn *Session) Commit(tid logrec.TID) error {
 			// a failed commit for a committed transaction.
 			atomic.AddInt64(&s.stats.CheckpointsFailed, 1)
 		}
+	}
+	if s.cfg.PostCommit != nil {
+		s.cfg.PostCommit()
 	}
 	return nil
 }

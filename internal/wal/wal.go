@@ -45,6 +45,7 @@ type Log struct {
 	// clamp how far the stable end actually advances, down to not at all.
 	limiter   func(proposed uint64) uint64
 	truncGate func() bool
+	archGate  func(newHead uint64) bool
 
 	// Group commit. Committers park in CommitWait until a flush attempt has
 	// covered their commit LSN; a one-shot flusher goroutine performs one
@@ -97,6 +98,18 @@ func New(capacity int) *Log {
 		attempt:  FirstLSN,
 	}
 	l.gcCond = sync.NewCond(&l.mu)
+	return l
+}
+
+// NewAt creates an empty log whose first LSN is start instead of FirstLSN.
+// Media restore uses this to rebuild an archived log stream at its original
+// LSNs: records appended in archive order are contiguous from start, so each
+// is reassigned exactly the LSN it had when first logged, and every LSN
+// recorded elsewhere (page headers, checkpoint payloads, the superblock's
+// master record) resolves against the rebuilt log unchanged.
+func NewAt(capacity int, start uint64) *Log {
+	l := New(capacity)
+	l.head, l.flushed, l.next, l.attempt = start, start, start, start
 	return l
 }
 
@@ -411,6 +424,23 @@ func (l *Log) SetTruncateGate(fn func() bool) {
 	l.truncGate = fn
 }
 
+// SetArchiveGate installs fn, called (with the log lock held) whenever
+// Truncate would advance the head, with the proposed new head. Returning
+// false defers the truncation: the head stays put and Truncate reports
+// success, exactly like a swallowed head-pointer write. The log archiver
+// installs a gate refusing any head above its archived-up-to LSN, so log
+// records can never be reclaimed before they are safely archived — the same
+// choke point (and the same cannot-outrun-stable-state discipline) as the
+// checkpoint/truncation ordering gate from the crash-point sweep. The
+// archive gate is consulted before the truncate gate: a deferred truncation
+// is not a stable-storage event, because the head-pointer write is never
+// attempted. A nil fn removes the gate.
+func (l *Log) SetArchiveGate(fn func(newHead uint64) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.archGate = fn
+}
+
 // Truncate reclaims log space below newHead, which must be a record boundary
 // at or below the stable end.
 func (l *Log) Truncate(newHead uint64) error {
@@ -424,6 +454,9 @@ func (l *Log) Truncate(newHead uint64) error {
 	}
 	if newHead == l.head {
 		return nil
+	}
+	if l.archGate != nil && !l.archGate(newHead) {
+		return nil // deferred: the archiver has not drained this span yet
 	}
 	if l.truncGate != nil && !l.truncGate() {
 		return nil // swallowed: the head-pointer write never reached disk

@@ -20,6 +20,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/archive"
 	"repro/internal/faultinject"
 	"repro/internal/lock"
 	"repro/internal/logrec"
@@ -37,8 +38,10 @@ const (
 	opShipPage
 	opCommit
 	opAbort
-	opFaults // arm/disarm a fault plan (management, not part of Service)
-	opStats  // fetch server.StatsX as JSON (management, not part of Service)
+	opFaults    // arm/disarm a fault plan (management, not part of Service)
+	opStats     // fetch DaemonStats as JSON (management, not part of Service)
+	opBackup    // take an online fuzzy backup (management, not part of Service)
+	opArchStats // fetch archive.Status as JSON (management, not part of Service)
 )
 
 // Status codes.
@@ -123,6 +126,17 @@ type ServeOpts struct {
 	// Faults, when non-nil, lets clients arm and disarm fault plans on the
 	// daemon's data volume through the opFaults management op (qsctl faults).
 	Faults *faultinject.Store
+	// Archive, when non-nil, serves the opBackup and opArchStats management
+	// ops (qsctl backup / archive-status) and adds archiver progress to
+	// opStats responses.
+	Archive *archive.Archiver
+}
+
+// DaemonStats is the opStats response: the server's extended counters plus,
+// when the daemon archives its log, the archiver's progress snapshot.
+type DaemonStats struct {
+	server.StatsX
+	Archive *archive.Status `json:"archive,omitempty"`
 }
 
 // Serve accepts connections on lis and dispatches requests to srv until the
@@ -172,7 +186,11 @@ func serveConn(conn net.Conn, srv *server.Server, opts ServeOpts) {
 		if f.op == opFaults {
 			status, payload = handleFaults(opts.Faults, f.payload)
 		} else if f.op == opStats {
-			status, payload = handleStats(srv)
+			status, payload = handleStats(srv, opts.Archive)
+		} else if f.op == opBackup {
+			status, payload = handleBackup(opts.Archive)
+		} else if f.op == opArchStats {
+			status, payload = handleArchStats(opts.Archive)
 		} else {
 			status, payload = dispatch(sn, f)
 		}
@@ -233,8 +251,42 @@ func handleFaults(fs *faultinject.Store, payload []byte) (byte, []byte) {
 // handleStats serves the opStats management op: the server's extended
 // counter snapshot, JSON-encoded (a management op, so a self-describing
 // format beats another hand-rolled binary layout).
-func handleStats(srv *server.Server) (byte, []byte) {
-	out, err := json.Marshal(srv.ExtendedStats())
+func handleStats(srv *server.Server, arch *archive.Archiver) (byte, []byte) {
+	ds := DaemonStats{StatsX: srv.ExtendedStats()}
+	if arch != nil {
+		st := arch.Status()
+		ds.Archive = &st
+	}
+	out, err := json.Marshal(ds)
+	if err != nil {
+		return stError, []byte(err.Error())
+	}
+	return stOK, out
+}
+
+// handleBackup serves the opBackup management op: take a fuzzy online backup
+// now and return its BackupInfo as JSON.
+func handleBackup(arch *archive.Archiver) (byte, []byte) {
+	if arch == nil {
+		return stError, []byte("wire: archiving not enabled on this server (start with -archive-dir)")
+	}
+	info, err := arch.Backup()
+	if err != nil {
+		return stError, []byte(err.Error())
+	}
+	out, err := json.Marshal(info)
+	if err != nil {
+		return stError, []byte(err.Error())
+	}
+	return stOK, out
+}
+
+// handleArchStats serves the opArchStats management op.
+func handleArchStats(arch *archive.Archiver) (byte, []byte) {
+	if arch == nil {
+		return stError, []byte("wire: archiving not enabled on this server (start with -archive-dir)")
+	}
+	out, err := json.Marshal(arch.Status())
 	if err != nil {
 		return stError, []byte(err.Error())
 	}
@@ -420,17 +472,45 @@ func (c *TCPClient) Faults(arm bool, name string, seed int64) (string, error) {
 	return string(out), err
 }
 
-// ServerStats fetches the daemon's extended counter snapshot (qsctl stats).
-func (c *TCPClient) ServerStats() (server.StatsX, error) {
+// ServerStats fetches the daemon's extended counter snapshot (qsctl stats),
+// including archiver progress when the daemon archives its log.
+func (c *TCPClient) ServerStats() (DaemonStats, error) {
 	out, err := c.call(frame{op: opStats})
 	if err != nil {
-		return server.StatsX{}, err
+		return DaemonStats{}, err
 	}
-	var x server.StatsX
+	var x DaemonStats
 	if err := json.Unmarshal(out, &x); err != nil {
-		return server.StatsX{}, fmt.Errorf("wire: bad stats response: %w", err)
+		return DaemonStats{}, fmt.Errorf("wire: bad stats response: %w", err)
 	}
 	return x, nil
+}
+
+// Backup asks the daemon to take a fuzzy online backup now (qsctl backup).
+// The daemon must have been started with archiving enabled.
+func (c *TCPClient) Backup() (archive.BackupInfo, error) {
+	out, err := c.call(frame{op: opBackup})
+	if err != nil {
+		return archive.BackupInfo{}, err
+	}
+	var info archive.BackupInfo
+	if err := json.Unmarshal(out, &info); err != nil {
+		return archive.BackupInfo{}, fmt.Errorf("wire: bad backup response: %w", err)
+	}
+	return info, nil
+}
+
+// ArchiveStatus fetches the daemon's archiver snapshot (qsctl archive-status).
+func (c *TCPClient) ArchiveStatus() (archive.Status, error) {
+	out, err := c.call(frame{op: opArchStats})
+	if err != nil {
+		return archive.Status{}, err
+	}
+	var st archive.Status
+	if err := json.Unmarshal(out, &st); err != nil {
+		return archive.Status{}, fmt.Errorf("wire: bad archive-status response: %w", err)
+	}
+	return st, nil
 }
 
 // Begin implements Service.
