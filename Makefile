@@ -1,18 +1,25 @@
-# Developer/CI entry points. `make check` is the gate: vet, build, the full
-# test suite under the race detector, a short crash-point sweep smoke
-# (50 replayed crash points per recovery scheme; see DESIGN.md §8), the
-# concurrent-server tests under -race, the 2-client group-commit sweep
-# smoke (DESIGN.md §9), the media-failure sweep smoke and the race-enabled
-# archive backup/restore round-trip (DESIGN.md §10).
+# Developer/CI entry points. `make check` is the gate: vet, qslint (the
+# static invariant suite, DESIGN.md §11), build, the full test suite under
+# the race detector, a short crash-point sweep smoke (50 replayed crash
+# points per recovery scheme; see DESIGN.md §8), the concurrent-server tests
+# under -race, the 2-client group-commit sweep smoke (DESIGN.md §9), the
+# media-failure sweep smoke and the race-enabled archive backup/restore
+# round-trip (DESIGN.md §10).
 
 GO ?= go
 
-.PHONY: check vet build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive bench-commit
+.PHONY: check vet lint build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive bench-commit
 
-check: vet build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive
+check: vet lint build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive
 
 vet:
 	$(GO) vet ./...
+
+# qslint: latch order (§S9), WAL layering / write-ahead order, sweep
+# determinism, stable-storage error discipline. `-json` emits machine-
+# readable diagnostics for tooling.
+lint:
+	$(GO) run ./cmd/qslint .
 
 build:
 	$(GO) build ./...

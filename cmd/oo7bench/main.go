@@ -59,9 +59,11 @@ func main() {
 }
 
 func run(r *harness.Runner, exp string, diag, csv bool) error {
+	//qslint:allow determinism: wall-clock elapsed banner for the operator; the CSV mode the sweeps consume omits it
 	start := time.Now()
 	defer func() {
 		if !csv {
+			//qslint:allow determinism: wall-clock elapsed banner for the operator; the CSV mode the sweeps consume omits it
 			fmt.Printf("(elapsed %v, scale %d)\n", time.Since(start).Round(time.Millisecond), r.Options().Scale)
 		}
 	}()

@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -134,6 +135,7 @@ func main() {
 			return nil
 		})
 	case "bench":
+		//qslint:allow determinism: interactive bench timer, printed to the operator and never replayed
 		start := time.Now()
 		for i := 0; i < *n; i++ {
 			err = store.Update(func(tx *quickstore.Tx) error {
@@ -147,6 +149,7 @@ func main() {
 				break
 			}
 		}
+		//qslint:allow determinism: interactive bench timer, printed to the operator and never replayed
 		elapsed := time.Since(start)
 		fmt.Printf("%d txns in %v (%.0f txn/s)\n", *n, elapsed.Round(time.Millisecond),
 			float64(*n)/elapsed.Seconds())
@@ -251,6 +254,20 @@ func statsCmd(addr string, args []string) error {
 		x.PoolHits, x.PoolMisses, x.LatchContention)
 	fmt.Printf("lock manager     waits=%d\n", x.LockWaits)
 	fmt.Printf("data disk        reads=%d writes=%d\n", x.DataReads, x.DataWrites)
+	if len(x.Ops) > 0 {
+		// Sort the map-keyed section: identical stats must print identically
+		// (scripts diff this output, and map iteration order is randomized).
+		names := make([]string, 0, len(x.Ops))
+		for name := range x.Ops {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("wire ops         ")
+		for _, name := range names {
+			fmt.Printf("%s=%d ", name, x.Ops[name])
+		}
+		fmt.Println()
+	}
 	if x.RedoWorkers > 0 {
 		fmt.Printf("restart redo     workers=%d applied=%v\n", x.RedoWorkers, x.RedoApplied)
 	}

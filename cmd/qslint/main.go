@@ -1,0 +1,72 @@
+// Command qslint runs the project's static invariant suite (internal/lint)
+// over the whole module: latch order (DESIGN.md §S9), WAL write-ahead and
+// layering discipline, sweep determinism, and stable-storage error handling.
+// It exits nonzero if any unsuppressed diagnostic remains, so `make lint`
+// (part of `make check`) gates every change.
+//
+// Usage:
+//
+//	qslint [-json] [dir]
+//
+// dir defaults to "." and may be anywhere inside the module.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array (machine-readable)")
+	list := flag.Bool("list", false, "list the analyzer suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-17s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	m, err := lint.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qslint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := m.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qslint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(m, pkgs, lint.All())
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "qslint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "qslint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -90,6 +90,8 @@ func (s *Sharded) Shard(i int) *PoolShard { return s.shards[i] }
 
 // lockAll latches every shard in index order (the canonical multi-shard
 // order, preventing latch-latch deadlock) and returns an unlock func.
+//
+//qslint:allow latch-order: the one sanctioned multi-shard path — every shard latched in ascending index order, only reachable from quiesced callers (DESIGN.md §S9)
 func (s *Sharded) lockAll() func() {
 	for _, sh := range s.shards {
 		sh.Lock()

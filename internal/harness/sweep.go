@@ -32,6 +32,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/client"
 	"repro/internal/disk"
@@ -476,9 +477,17 @@ func dumpStore(st disk.Store) (map[page.ID][]byte, error) {
 }
 
 // diffDumps describes the first difference between two store dumps, or ""
-// if they are identical.
+// if they are identical. Pages are compared in ascending id order so the
+// reported "first" difference is the same on every run (map iteration order
+// is randomized).
 func diffDumps(a, b map[page.ID][]byte) string {
-	for id, pa := range a {
+	ids := make([]page.ID, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		pa := a[id]
 		pb, ok := b[id]
 		if !ok {
 			return fmt.Sprintf("page %v vanished", id)
@@ -489,10 +498,15 @@ func diffDumps(a, b map[page.ID][]byte) string {
 			}
 		}
 	}
+	extra := make([]page.ID, 0, len(b))
 	for id := range b {
 		if _, ok := a[id]; !ok {
-			return fmt.Sprintf("page %v appeared", id)
+			extra = append(extra, id)
 		}
+	}
+	if len(extra) > 0 {
+		sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+		return fmt.Sprintf("page %v appeared", extra[0])
 	}
 	return ""
 }

@@ -1,0 +1,640 @@
+package lint
+
+// latch-order: enforces the DESIGN.md §S9 latch partial order,
+//
+//	gate (level 0) → big (1) → one buffer shard latch (2) →
+//	{attMu | dptMu | wplMu | allocMu} (3) → wal/store internals
+//
+// as a level graph. Each function body is abstractly interpreted in source
+// order, tracking the multiset of held latches through branches, loops,
+// defers and the s.enter()/exit() gate idiom; acquiring a latch whose level
+// is below one already held, re-acquiring the (non-reentrant) gate, or
+// holding two shard latches at once is a diagnostic. Lock acquisitions made
+// by callees count too: every function gets a transitive "footprint" (the
+// set of latch levels it may acquire), propagated to a fixed point across
+// the whole module, and a call is checked against the caller's held set.
+//
+// Latches are recognized structurally, so the scratch fixtures exercise the
+// same code paths as the real server:
+//
+//   - a sync.RWMutex field named "gate"            → level 0
+//   - a sync.Mutex field named "big"               → level 1
+//   - buffer.Sharded.Lock / *buffer.PoolShard      → level 2 (shard)
+//   - sync.Mutex fields attMu/dptMu/wplMu/allocMu  → level 3 (leaf)
+//   - a module function named "enter" returning func() acquires the gate;
+//     calling the returned value releases it (the server's enter/exit pair)
+//
+// wal/store internal mutexes are innermost by construction and unmodeled.
+// The multi-shard quiesced path (buffer.lockAll, index order under gate.W)
+// carries a //qslint:allow latch-order annotation: an annotated function is
+// skipped and its footprint treated as vouched for.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LatchOrder is the §S9 latch partial-order analyzer.
+type LatchOrder struct{}
+
+func (LatchOrder) Name() string { return "latch-order" }
+func (LatchOrder) Doc() string {
+	return "latch acquisition order must follow gate → big → one shard latch → leaf mutexes (DESIGN.md §S9)"
+}
+
+const (
+	levelGate = iota
+	levelBig
+	levelShard
+	levelLeaf
+	numLevels
+)
+
+var levelName = [numLevels]string{"session gate", "big (Serialize) mutex", "shard latch", "leaf mutex"}
+
+var leafNames = map[string]bool{"attMu": true, "dptMu": true, "wplMu": true, "allocMu": true}
+
+// held is one latch currently held by the function under analysis.
+type held struct {
+	level int
+	name  string // source expression ("s.gate", "s.attMu") or shard handle var
+	pos   token.Pos
+}
+
+// event classifies one call expression.
+type event struct {
+	kind  int // evNone..evCall
+	level int
+	name  string
+	fn    *types.Func // evCall
+	pos   token.Pos
+}
+
+const (
+	evNone = iota
+	evAcquire
+	evTryAcquire
+	evRelease
+	evShardLock // Sharded.Lock(pid) → *PoolShard; handle bound by assignment
+	evEnter     // enter() idiom: acquires gate, returns the releaser
+	evCall      // call to another module function (footprint check)
+)
+
+// funcInfo is the per-function interprocedural summary.
+type funcInfo struct {
+	pkg     *Package
+	decl    *ast.FuncDecl
+	foot    uint8 // bitmask: 1<<level acquired anywhere in this function or its callees
+	allowed bool
+	callees []*types.Func
+}
+
+type latchChecker struct {
+	m      *Module
+	report Reporter
+	funcs  map[*types.Func]*funcInfo
+
+	// per-function interpreter state
+	pkg           *Package
+	pendingAssign string            // LHS name while scanning `x := <call>`
+	releasers     map[string]string // releaser var → gate lock name it releases
+}
+
+func (LatchOrder) Check(m *Module, pkgs []*Package, report Reporter) {
+	c := &latchChecker{m: m, report: report, funcs: make(map[*types.Func]*funcInfo)}
+
+	// Pass 1: collect functions, direct footprints, and call edges.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				fi := &funcInfo{pkg: pkg, decl: fd, allowed: pkg.FuncAllowed("latch-order", fd)}
+				c.funcs[obj] = fi
+				if fi.allowed {
+					continue
+				}
+				c.pkg = pkg
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					switch ev := c.classify(call); ev.kind {
+					case evAcquire, evTryAcquire, evShardLock:
+						fi.foot |= 1 << ev.level
+					case evEnter:
+						fi.foot |= 1 << levelGate
+					case evCall:
+						fi.callees = append(fi.callees, ev.fn)
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Pass 2: propagate footprints to a fixed point (handles recursion).
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range c.funcs {
+			for _, callee := range fi.callees {
+				if cf := c.funcs[callee]; cf != nil && !cf.allowed {
+					if merged := fi.foot | cf.foot; merged != fi.foot {
+						fi.foot = merged
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: abstract interpretation of every function body.
+	for _, fi := range c.funcs {
+		if fi.allowed {
+			continue
+		}
+		c.pkg = fi.pkg
+		c.releasers = make(map[string]string)
+		c.walkStmts(fi.decl.Body.List, &[]held{})
+	}
+}
+
+// --- classification ---------------------------------------------------------
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+func (c *latchChecker) bufferPath() string { return c.m.Path + "/internal/buffer" }
+
+func (c *latchChecker) inModule(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == c.m.Path || strings.HasPrefix(pkg.Path(), c.m.Path+"/"))
+}
+
+// classify maps a call expression to a latch event.
+func (c *latchChecker) classify(call *ast.CallExpr) event {
+	pos := call.Pos()
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	var obj *types.Func
+	if selOK {
+		obj, _ = c.pkg.Info.Uses[sel.Sel].(*types.Func)
+	} else if id, ok := call.Fun.(*ast.Ident); ok {
+		obj, _ = c.pkg.Info.Uses[id].(*types.Func)
+	}
+
+	if selOK {
+		method := sel.Sel.Name
+		switch method {
+		case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+			recvTV, ok := c.pkg.Info.Types[sel.X]
+			if !ok {
+				break
+			}
+			rt := recvTV.Type
+			if isNamedType(rt, c.bufferPath(), "Sharded") && method == "Lock" {
+				return event{kind: evShardLock, level: levelShard, pos: pos}
+			}
+			if isNamedType(rt, c.bufferPath(), "PoolShard") {
+				name := types.ExprString(sel.X)
+				switch method {
+				case "Unlock", "RUnlock":
+					return event{kind: evRelease, level: levelShard, name: name, pos: pos}
+				case "TryLock", "TryRLock":
+					return event{kind: evTryAcquire, level: levelShard, name: name, pos: pos}
+				default:
+					return event{kind: evAcquire, level: levelShard, name: name, pos: pos}
+				}
+			}
+			// Field-named sync mutexes: the receiver must itself be a field
+			// selector (s.gate, q.attMu, ...).
+			fx, ok2 := sel.X.(*ast.SelectorExpr)
+			if !ok2 {
+				break
+			}
+			ts := deref(rt).String()
+			field := fx.Sel.Name
+			level := -1
+			switch {
+			case field == "gate" && ts == "sync.RWMutex":
+				level = levelGate
+			case field == "big" && ts == "sync.Mutex":
+				level = levelBig
+			case leafNames[field] && ts == "sync.Mutex":
+				level = levelLeaf
+			}
+			if level < 0 {
+				break
+			}
+			name := types.ExprString(sel.X)
+			switch method {
+			case "Unlock", "RUnlock":
+				return event{kind: evRelease, level: level, name: name, pos: pos}
+			case "TryLock", "TryRLock":
+				return event{kind: evTryAcquire, level: level, name: name, pos: pos}
+			default:
+				return event{kind: evAcquire, level: level, name: name, pos: pos}
+			}
+		}
+	}
+
+	if obj == nil {
+		if selOK {
+			obj, _ = c.pkg.Info.Uses[sel.Sel].(*types.Func)
+		} else if id, ok := call.Fun.(*ast.Ident); ok {
+			if o := c.pkg.Info.Uses[id]; o != nil {
+				obj, _ = o.(*types.Func)
+			}
+		}
+	}
+	if obj != nil && c.inModule(obj.Pkg()) {
+		if obj.Name() == "enter" && returnsReleaser(obj) {
+			return event{kind: evEnter, level: levelGate, pos: pos}
+		}
+		return event{kind: evCall, fn: obj, pos: pos}
+	}
+	return event{kind: evNone}
+}
+
+// returnsReleaser reports whether fn's signature is func(...) func().
+func returnsReleaser(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	res, ok := sig.Results().At(0).Type().Underlying().(*types.Signature)
+	return ok && res.Params().Len() == 0 && res.Results().Len() == 0
+}
+
+// --- abstract interpretation ------------------------------------------------
+
+func cloneHeld(h []held) *[]held {
+	cp := append([]held(nil), h...)
+	return &cp
+}
+
+func (c *latchChecker) line(p token.Pos) int { return c.m.Fset.Position(p).Line }
+
+// acquire checks the new latch against everything held and records it.
+func (c *latchChecker) acquire(ev event, st *[]held) {
+	for _, h := range *st {
+		switch {
+		case h.name == ev.name && h.level == ev.level:
+			c.report(c.pkg, ev.pos, "%s already held (acquired at line %d; the quiesce gate and leaf mutexes are not reentrant)",
+				h.name, c.line(h.pos))
+		case ev.level == levelShard && h.level == levelShard:
+			c.report(c.pkg, ev.pos, "second shard latch acquired while holding one (line %d); never hold two shard latches outside the quiesced index-order path (DESIGN.md §S9)",
+				c.line(h.pos))
+		case h.level > ev.level:
+			c.report(c.pkg, ev.pos, "%s (%s) acquired while holding %s (%s, line %d): inverts the §S9 latch order gate → big → shard → leaf",
+				nameOrLevel(ev), levelName[ev.level], h.name, levelName[h.level], c.line(h.pos))
+		case ev.level == levelGate && h.level == levelGate:
+			c.report(c.pkg, ev.pos, "session gate acquired while already holding it (line %d): the gate is not reentrant", c.line(h.pos))
+		}
+	}
+	*st = append(*st, held{level: ev.level, name: ev.name, pos: ev.pos})
+}
+
+func nameOrLevel(ev event) string {
+	if ev.name != "" {
+		return ev.name
+	}
+	return levelName[ev.level]
+}
+
+// release drops the most recent matching latch, if held.
+func (c *latchChecker) release(ev event, st *[]held) {
+	for i := len(*st) - 1; i >= 0; i-- {
+		h := (*st)[i]
+		if h.level == ev.level && (h.name == ev.name || ev.name == "") {
+			*st = append((*st)[:i], (*st)[i+1:]...)
+			return
+		}
+	}
+}
+
+// checkFootprint validates a call to a module function against the held set.
+func (c *latchChecker) checkFootprint(ev event, st *[]held) {
+	fi := c.funcs[ev.fn]
+	if fi == nil || fi.allowed || fi.foot == 0 {
+		return
+	}
+	for lvl := 0; lvl < numLevels; lvl++ {
+		if fi.foot&(1<<lvl) == 0 {
+			continue
+		}
+		for _, h := range *st {
+			switch {
+			case lvl == levelShard && h.level == levelShard:
+				c.report(c.pkg, ev.pos, "call to %s, which acquires a shard latch, while already holding shard latch %s (line %d)",
+					ev.fn.Name(), h.name, c.line(h.pos))
+			case lvl == levelGate && h.level == levelGate:
+				c.report(c.pkg, ev.pos, "call to %s, which acquires the session gate, while already holding it (line %d): the gate is not reentrant",
+					ev.fn.Name(), c.line(h.pos))
+			case h.level > lvl:
+				c.report(c.pkg, ev.pos, "call to %s, which acquires a %s, while holding %s (%s, line %d): inverts the §S9 latch order",
+					ev.fn.Name(), levelName[lvl], h.name, levelName[h.level], c.line(h.pos))
+			}
+		}
+	}
+}
+
+// applyCall processes one call expression's latch effect.
+func (c *latchChecker) applyCall(call *ast.CallExpr, st *[]held) {
+	// Invocation of a bound releaser variable: exit().
+	if id, ok := call.Fun.(*ast.Ident); ok && len(call.Args) == 0 {
+		if gateName, ok := c.releasers[id.Name]; ok {
+			c.release(event{level: levelGate, name: gateName}, st)
+			return
+		}
+	}
+	ev := c.classify(call)
+	switch ev.kind {
+	case evAcquire, evTryAcquire: // TryAcquire outside the if-idiom: assume success
+		c.acquire(ev, st)
+	case evRelease:
+		c.release(ev, st)
+	case evShardLock:
+		name := c.pendingAssign
+		if name == "" {
+			name = "(unbound shard latch)"
+		}
+		ev.name = name
+		c.acquire(ev, st)
+	case evEnter:
+		name := "gate (via enter)"
+		c.acquire(event{kind: evAcquire, level: levelGate, name: name, pos: ev.pos}, st)
+		if c.pendingAssign != "" {
+			c.releasers[c.pendingAssign] = name
+		}
+	case evCall:
+		c.checkFootprint(ev, st)
+	}
+}
+
+// scanExpr processes latch effects of every call in e, in source order.
+// Function literals get a fresh empty held set (they run on their own
+// goroutine or at an unknown later point).
+func (c *latchChecker) scanExpr(e ast.Expr, st *[]held) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			saveRel := c.releasers
+			c.releasers = make(map[string]string)
+			c.walkStmts(x.Body.List, &[]held{})
+			c.releasers = saveRel
+			return false
+		case *ast.CallExpr:
+			c.applyCall(x, st)
+			return true
+		}
+		return true
+	})
+}
+
+// tryLockIf matches `if [!]x.TryLock() { ... }` and returns the event and
+// whether the condition is negated.
+func (c *latchChecker) tryLockIf(cond ast.Expr) (event, bool, bool) {
+	negated := false
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		negated = true
+		cond = u.X
+	}
+	call, ok := cond.(*ast.CallExpr)
+	if !ok {
+		return event{}, false, false
+	}
+	ev := c.classify(call)
+	if ev.kind != evTryAcquire {
+		return event{}, false, false
+	}
+	return ev, negated, true
+}
+
+// walkStmts interprets a statement list; it reports whether control
+// definitely leaves the enclosing function (return/branch).
+func (c *latchChecker) walkStmts(list []ast.Stmt, st *[]held) bool {
+	for _, s := range list {
+		if c.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *latchChecker) walkStmt(s ast.Stmt, st *[]held) bool {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		c.scanExpr(x.X, st)
+	case *ast.AssignStmt:
+		// Bind `sh := s.pool.Lock(pid)` / `exit := s.enter()` handles.
+		if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+			if id, ok := x.Lhs[0].(*ast.Ident); ok {
+				if _, isCall := x.Rhs[0].(*ast.CallExpr); isCall {
+					c.pendingAssign = id.Name
+				}
+			}
+		}
+		for _, r := range x.Rhs {
+			c.scanExpr(r, st)
+		}
+		c.pendingAssign = ""
+		for _, l := range x.Lhs {
+			c.scanExpr(l, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					if len(vs.Names) == 1 && len(vs.Values) == 1 {
+						if _, isCall := vs.Values[0].(*ast.CallExpr); isCall {
+							c.pendingAssign = vs.Names[0].Name
+						}
+					}
+					for _, v := range vs.Values {
+						c.scanExpr(v, st)
+					}
+					c.pendingAssign = ""
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// defer s.enter()() / defer s.lockAll()(): the inner call runs NOW
+		// (acquiring), the release runs at function end — held to the end.
+		if inner, ok := x.Call.Fun.(*ast.CallExpr); ok {
+			c.applyCall(inner, st)
+			break
+		}
+		// defer mu.Unlock() / defer exit(): release at end; stays held here.
+		ev := c.classify(x.Call)
+		if ev.kind == evAcquire || ev.kind == evTryAcquire || ev.kind == evShardLock || ev.kind == evEnter {
+			c.applyCall(x.Call, st) // defer mu.Lock() — degenerate but an acquisition
+		}
+		// evCall in a defer runs at an unknown lock state: skip.
+	case *ast.GoStmt:
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			saveRel := c.releasers
+			c.releasers = make(map[string]string)
+			c.walkStmts(fl.Body.List, &[]held{})
+			c.releasers = saveRel
+		}
+		for _, a := range x.Call.Args {
+			c.scanExpr(a, st)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, st)
+		}
+		if ev, negated, ok := c.tryLockIf(x.Cond); ok && x.Else == nil {
+			if negated {
+				// if !TryLock { body runs unheld }; afterwards held either way.
+				thenSt := cloneHeld(*st)
+				c.walkStmts(x.Body.List, thenSt)
+				c.acquire(ev, st)
+			} else {
+				// if TryLock { body runs held }; afterwards unheld.
+				thenSt := cloneHeld(*st)
+				c.acquire(ev, thenSt)
+				c.walkStmts(x.Body.List, thenSt)
+			}
+			return false
+		}
+		c.scanExpr(x.Cond, st)
+		thenSt := cloneHeld(*st)
+		tTerm := c.walkStmts(x.Body.List, thenSt)
+		if x.Else != nil {
+			elseSt := cloneHeld(*st)
+			var eTerm bool
+			if blk, ok := x.Else.(*ast.BlockStmt); ok {
+				eTerm = c.walkStmts(blk.List, elseSt)
+			} else {
+				eTerm = c.walkStmt(x.Else, elseSt)
+			}
+			switch {
+			case tTerm && eTerm:
+				return true
+			case tTerm:
+				*st = *elseSt
+			case eTerm:
+				*st = *thenSt
+			default:
+				*st = intersectHeld(*thenSt, *elseSt)
+			}
+			return false
+		}
+		if !tTerm {
+			*st = intersectHeld(*st, *thenSt)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, st)
+		}
+		c.scanExpr(x.Cond, st)
+		c.loopBody(x.Body, x.Post, st)
+	case *ast.RangeStmt:
+		c.scanExpr(x.X, st)
+		c.loopBody(x.Body, nil, st)
+	case *ast.BlockStmt:
+		return c.walkStmts(x.List, st)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, st)
+		}
+		c.scanExpr(x.Tag, st)
+		for _, cc := range x.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				sub := cloneHeld(*st)
+				c.walkStmts(clause.Body, sub)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range x.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				sub := cloneHeld(*st)
+				c.walkStmts(clause.Body, sub)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range x.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				sub := cloneHeld(*st)
+				c.walkStmts(clause.Body, sub)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			c.scanExpr(r, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto: don't merge into fallthrough
+	case *ast.LabeledStmt:
+		return c.walkStmt(x.Stmt, st)
+	case *ast.SendStmt:
+		c.scanExpr(x.Chan, st)
+		c.scanExpr(x.Value, st)
+	case *ast.IncDecStmt:
+		c.scanExpr(x.X, st)
+	}
+	return false
+}
+
+// loopBody interprets a loop body with a copy of the held set. A shard latch
+// acquired inside the body and still held when the iteration ends would be a
+// second shard latch on the next pass — exactly the "two shard latches"
+// violation, reached via iteration rather than nesting.
+func (c *latchChecker) loopBody(body *ast.BlockStmt, post ast.Stmt, st *[]held) {
+	pre := make(map[string]bool, len(*st))
+	for _, h := range *st {
+		pre[h.name] = true
+	}
+	sub := cloneHeld(*st)
+	c.walkStmts(body.List, sub)
+	if post != nil {
+		c.walkStmt(post, sub)
+	}
+	for _, h := range *sub {
+		if h.level == levelShard && !pre[h.name] {
+			c.report(c.pkg, h.pos, "shard latch %s acquired in a loop and still held at the end of the iteration: the next pass would hold two shard latches (quiesced multi-shard paths must latch in index order and carry //qslint:allow latch-order)", h.name)
+		}
+	}
+	*st = *sub
+}
+
+// intersectHeld keeps latches held on both paths.
+func intersectHeld(a, b []held) []held {
+	inB := make(map[string]bool, len(b))
+	for _, h := range b {
+		inB[h.name+"\x00"+levelName[h.level]] = true
+	}
+	var out []held
+	for _, h := range a {
+		if inB[h.name+"\x00"+levelName[h.level]] {
+			out = append(out, h)
+		}
+	}
+	return out
+}

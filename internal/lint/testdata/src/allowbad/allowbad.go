@@ -1,0 +1,14 @@
+// fixture-path: repro/internal/harness/allowbad
+//
+// An //qslint:allow annotation without a reason: the directive itself is
+// flagged, and it suppresses nothing — the wall-clock read still fires.
+package allowbad
+
+import "time"
+
+// want "needs a reason"
+//
+//qslint:allow determinism
+func stamp() time.Time {
+	return time.Now() // want "wall-clock"
+}

@@ -1,0 +1,21 @@
+// fixture-path: repro/internal/harness/detallow
+//
+// Negative determinism fixture: a legitimate wall-clock use suppressed by a
+// function-level //qslint:allow annotation that carries a reason, plus a
+// line-level one. No diagnostics expected.
+package detallow
+
+import "time"
+
+// deadline computes a real timeout bound, like the lock manager's deadlock
+// deadline.
+//
+//qslint:allow determinism: fixture copy of the lock-manager deadline — a real timeout that never reaches logged state
+func deadline(d time.Duration) time.Time {
+	return time.Now().Add(d)
+}
+
+func elapsed(since time.Time) time.Duration {
+	//qslint:allow determinism: operator-facing timer, never replayed
+	return time.Since(since)
+}

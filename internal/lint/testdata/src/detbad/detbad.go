@@ -1,0 +1,22 @@
+// fixture-path: repro/internal/harness/detbad
+//
+// Determinism positives: a wall-clock read and an unsorted map iteration
+// feeding output, both inside a sweep-critical package path.
+package detbad
+
+import (
+	"fmt"
+	"time"
+)
+
+// stamp reads real time on a replayed path.
+func stamp() string {
+	return time.Now().String() // want "wall-clock"
+}
+
+// dump prints in map order, which Go randomizes per run.
+func dump(m map[int]string) {
+	for k, v := range m { // want "map iteration"
+		fmt.Println(k, v)
+	}
+}

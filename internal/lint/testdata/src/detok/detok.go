@@ -1,0 +1,32 @@
+// fixture-path: repro/internal/harness/detok
+//
+// Negative determinism fixture: map-keyed output printed via sorted keys,
+// and a map iteration that only accumulates (no output inside the loop). No
+// diagnostics expected.
+package detok
+
+import (
+	"fmt"
+	"sort"
+)
+
+// dump prints in ascending key order: identical bytes every run.
+func dump(m map[int]string) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// total only folds the map into a scalar; order cannot show.
+func total(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,12 @@
+// fixture-path: repro/internal/logrec/detrand
+//
+// Determinism positive: math/rand imported on a sweep-critical path. Its
+// stream is not guaranteed stable across Go releases, so even a seeded use
+// here could change replayed bytes after a toolchain bump.
+package detrand
+
+import "math/rand" // want "math/rand"
+
+func jitter() int {
+	return rand.Intn(8)
+}

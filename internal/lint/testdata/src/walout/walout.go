@@ -1,0 +1,21 @@
+// fixture-path: repro/qslintfixtures/walout
+//
+// Layering (rule A): this package is outside the storage-protocol allowlist,
+// so writing a page to a disk.Store or mutating buffer-pool frames from here
+// bypasses the WAL protocol the sweeps verify.
+package walout
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/disk"
+)
+
+// sneaky writes straight to the volume, skipping the log entirely.
+func sneaky(st disk.Store) error {
+	return st.WritePage(1, make([]byte, 64)) // want "storage-protocol"
+}
+
+// poke mutates pool frame state from outside the fix/unfix protocol.
+func poke(p *buffer.Pool) {
+	p.Clear() // want "mutates buffer-pool frames"
+}

@@ -1,0 +1,160 @@
+package lint
+
+// wal-discipline: the storage protocol owns the pages.
+//
+// Rule A (layering): only the storage-protocol packages — server, wal,
+// archive, recbuf, faultinject, disk, buffer — may call WritePage on a
+// disk.Store or mutate buffer-pool frames. Everything else (harness, wire,
+// client, tools) must go through a Session, so every page image that reaches
+// stable storage is covered by the WAL protocol the sweeps verify.
+//
+// Rule B (write-ahead order within a function): a page write followed later
+// in the same body by a wal.Append, with no log force between them, is the
+// classic inverted ordering — the log record describing (or following) the
+// write could be lost in a crash that survives the page. Bodies that force
+// first (checkpointQuiesced: Force → WritePage loop) are fine; restore-style
+// paths that intentionally write images before re-appending history carry a
+// //qslint:allow wal-discipline annotation.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// WALDiscipline is the page-write layering / write-ahead-order analyzer.
+type WALDiscipline struct{}
+
+func (WALDiscipline) Name() string { return "wal-discipline" }
+func (WALDiscipline) Doc() string {
+	return "only protocol packages may write pages, and a page write must not precede wal.Append without a log force"
+}
+
+// storeInterface resolves disk.Store so implementors can be recognized
+// structurally (MemStore, FileStore, fault-injecting wrappers, fixtures).
+func storeInterface(m *Module) *types.Interface {
+	pkg, err := m.Load(m.Path + "/internal/disk")
+	if err != nil {
+		return nil
+	}
+	obj := pkg.Types.Scope().Lookup("Store")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func implementsIface(t types.Type, iface *types.Interface) bool {
+	if t == nil || iface == nil {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// poolMutators are the buffer-pool frame mutations rule A fences in.
+var poolMutators = map[string]bool{
+	"Insert": true, "Remove": true, "MarkDirty": true, "MarkClean": true,
+	"Clear": true, "Pin": true, "Unpin": true, "SetCapacity": true,
+}
+
+const (
+	wdWrite = iota
+	wdForce
+	wdAppend
+)
+
+func (WALDiscipline) Check(m *Module, pkgs []*Package, report Reporter) {
+	iface := storeInterface(m)
+	walPath := m.Path + "/internal/wal"
+	bufPath := m.Path + "/internal/buffer"
+	writeAllow := []string{
+		m.Path + "/internal/server",
+		m.Path + "/internal/wal",
+		m.Path + "/internal/archive",
+		m.Path + "/internal/recbuf",
+		m.Path + "/internal/faultinject",
+		m.Path + "/internal/disk",
+		m.Path + "/internal/buffer",
+	}
+	// The client runs its own page cache (client caching is the point of the
+	// architecture), so it may mutate its own pool; it still may not touch a
+	// disk.Store directly.
+	poolAllow := []string{
+		m.Path + "/internal/server",
+		m.Path + "/internal/buffer",
+		m.Path + "/internal/client",
+	}
+
+	for _, pkg := range pkgs {
+		storeOK := pathIn(pkg.Path, writeAllow)
+		poolOK := pathIn(pkg.Path, poolAllow)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || pkg.FuncAllowed("wal-discipline", fd) {
+					continue
+				}
+				type ev struct {
+					kind int
+					pos  token.Pos
+				}
+				var evs []ev
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					recvTV, typed := pkg.Info.Types[sel.X]
+					var recvT types.Type
+					if typed {
+						recvT = recvTV.Type
+					}
+					switch name := sel.Sel.Name; {
+					case name == "WritePage" && implementsIface(recvT, iface):
+						if !storeOK {
+							report(pkg, call.Pos(), "WritePage on a disk.Store from package %s: page writes are reserved to the storage-protocol packages (server/wal/archive/recbuf/faultinject); go through a Session so the WAL protocol covers the write", pkg.Path)
+						}
+						evs = append(evs, ev{wdWrite, call.Pos()})
+					case (name == "Force" || name == "ForceFull" || name == "CommitWait") && isNamedType(recvT, walPath, "Log"):
+						evs = append(evs, ev{wdForce, call.Pos()})
+					case name == "Append" && isNamedType(recvT, walPath, "Log"):
+						evs = append(evs, ev{wdAppend, call.Pos()})
+					case poolMutators[name] && !poolOK &&
+						(isNamedType(recvT, bufPath, "Pool") || isNamedType(recvT, bufPath, "Sharded") || isNamedType(recvT, bufPath, "PoolShard")):
+						report(pkg, call.Pos(), "%s mutates buffer-pool frames from package %s: frame state is owned by the server's fix/unfix protocol", name, pkg.Path)
+					}
+					return true
+				})
+				sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+				// A force anywhere before the first write covers it (the sharp
+				// checkpoint: Force → flush dirty pages → append checkpoint-end
+				// record is the canonical legitimate write-then-append body).
+				pendingWrite := token.NoPos
+				forced := false
+				for _, e := range evs {
+					switch e.kind {
+					case wdForce:
+						forced = true
+						pendingWrite = token.NoPos
+					case wdWrite:
+						if !forced && !pendingWrite.IsValid() {
+							pendingWrite = e.pos
+						}
+					case wdAppend:
+						if pendingWrite.IsValid() {
+							report(pkg, e.pos, "wal.Append after a page write at line %d with no log force between them: the write-ahead rule requires the log record stable before (or a Force since) any page write it describes",
+								m.Fset.Position(pendingWrite).Line)
+							pendingWrite = token.NoPos
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -93,6 +93,8 @@ func compatible(e *entry, tid logrec.TID, mode Mode) bool {
 // Lock acquires mode on pid for tid, blocking until granted. A transaction
 // already holding the page in the same or a stronger mode returns
 // immediately; holding Shared and requesting Exclusive upgrades.
+//
+//qslint:allow determinism: the deadlock-timeout deadline is a real wall-clock bound; it only decides when to give up and never reaches a log record or a sweep diff
 func (m *Manager) Lock(tid logrec.TID, pid page.ID, mode Mode) error {
 	deadline := time.Now().Add(m.timeout)
 	m.mu.Lock()
@@ -126,6 +128,8 @@ func (m *Manager) Lock(tid logrec.TID, pid page.ID, mode Mode) error {
 
 // waitWithDeadline waits on the manager's condition variable but wakes up by
 // the deadline even if nothing broadcast.
+//
+//qslint:allow determinism: wakes a blocked waiter at its deadlock deadline; pure scheduling, no logged or diffed state
 func (m *Manager) waitWithDeadline(deadline time.Time) {
 	timer := time.AfterFunc(time.Until(deadline), func() {
 		m.mu.Lock()

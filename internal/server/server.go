@@ -925,16 +925,20 @@ func (sn *Session) Abort(tid logrec.TID) error {
 	}
 	a := logrec.NewAbort(tid)
 	a.PrevLSN = t.lastLSN
-	s.log.Append(a)
 	var err error
+	if _, aerr := s.log.Append(a); aerr != nil {
+		err = aerr
+	}
 	if s.cfg.Mode == ModeWPL {
 		s.wplAbort(sn, t)
-	} else {
+	} else if err == nil {
 		err = s.undo(sn, t, logrec.NoLSN)
 	}
 	e := logrec.NewEnd(tid)
 	e.PrevLSN = t.lastLSN
-	s.log.Append(e)
+	if _, eerr := s.log.Append(e); eerr != nil && err == nil {
+		err = eerr
+	}
 	sn.m.LogWrite(s.log.Force())
 	atomic.AddInt64(&s.stats.Aborts, 1)
 	s.attMu.Lock()

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 
 	"repro/internal/archive"
@@ -43,6 +44,73 @@ const (
 	opBackup    // take an online fuzzy backup (management, not part of Service)
 	opArchStats // fetch archive.Status as JSON (management, not part of Service)
 )
+
+// opName returns the stable human-readable name of an op code, used as the
+// key of the per-op request counters in DaemonStats.
+func opName(op byte) string {
+	switch op {
+	case opBegin:
+		return "begin"
+	case opLock:
+		return "lock"
+	case opAllocPage:
+		return "alloc-page"
+	case opReadPage:
+		return "read-page"
+	case opShipLog:
+		return "ship-log"
+	case opShipPage:
+		return "ship-page"
+	case opCommit:
+		return "commit"
+	case opAbort:
+		return "abort"
+	case opFaults:
+		return "faults"
+	case opStats:
+		return "stats"
+	case opBackup:
+		return "backup"
+	case opArchStats:
+		return "archive-status"
+	default:
+		return fmt.Sprintf("op%d", op)
+	}
+}
+
+// opCounters counts requests served per op across every connection of one
+// daemon. Snapshots are plain maps; consumers (qsctl stats) must sort the
+// keys before printing.
+type opCounters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func newOpCounters() *opCounters {
+	return &opCounters{m: make(map[string]int64)}
+}
+
+func (c *opCounters) inc(op byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[opName(op)]++
+	c.mu.Unlock()
+}
+
+func (c *opCounters) snapshot() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
 
 // Status codes.
 const (
@@ -137,6 +205,8 @@ type ServeOpts struct {
 type DaemonStats struct {
 	server.StatsX
 	Archive *archive.Status `json:"archive,omitempty"`
+	// Ops counts requests served per wire op since the daemon started.
+	Ops map[string]int64 `json:"ops,omitempty"`
 }
 
 // Serve accepts connections on lis and dispatches requests to srv until the
@@ -148,16 +218,17 @@ func Serve(lis net.Listener, srv *server.Server) error {
 
 // ServeWith is Serve with options.
 func ServeWith(lis net.Listener, srv *server.Server, opts ServeOpts) error {
+	ops := newOpCounters()
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
 			return err
 		}
-		go serveConn(conn, srv, opts)
+		go serveConn(conn, srv, opts, ops)
 	}
 }
 
-func serveConn(conn net.Conn, srv *server.Server, opts ServeOpts) {
+func serveConn(conn net.Conn, srv *server.Server, opts ServeOpts, ops *opCounters) {
 	defer conn.Close()
 	sn := srv.NewSession(nil, nil)
 	r := bufio.NewReaderSize(conn, 64<<10)
@@ -168,7 +239,15 @@ func serveConn(conn net.Conn, srv *server.Server, opts ServeOpts) {
 	// server-side logs in §6 of the paper.
 	active := make(map[logrec.TID]bool)
 	defer func() {
+		// Abort in TID order: each abort appends log records, and the sweep's
+		// replay diff depends on the log byte stream being identical run to
+		// run — map order would shuffle it.
+		tids := make([]logrec.TID, 0, len(active))
 		for tid := range active {
+			tids = append(tids, tid)
+		}
+		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+		for _, tid := range tids {
 			sn.Abort(tid)
 		}
 	}()
@@ -181,12 +260,13 @@ func serveConn(conn net.Conn, srv *server.Server, opts ServeOpts) {
 		if err != nil {
 			return
 		}
+		ops.inc(f.op)
 		var status byte
 		var payload []byte
 		if f.op == opFaults {
 			status, payload = handleFaults(opts.Faults, f.payload)
 		} else if f.op == opStats {
-			status, payload = handleStats(srv, opts.Archive)
+			status, payload = handleStats(srv, opts.Archive, ops)
 		} else if f.op == opBackup {
 			status, payload = handleBackup(opts.Archive)
 		} else if f.op == opArchStats {
@@ -251,8 +331,8 @@ func handleFaults(fs *faultinject.Store, payload []byte) (byte, []byte) {
 // handleStats serves the opStats management op: the server's extended
 // counter snapshot, JSON-encoded (a management op, so a self-describing
 // format beats another hand-rolled binary layout).
-func handleStats(srv *server.Server, arch *archive.Archiver) (byte, []byte) {
-	ds := DaemonStats{StatsX: srv.ExtendedStats()}
+func handleStats(srv *server.Server, arch *archive.Archiver, ops *opCounters) (byte, []byte) {
+	ds := DaemonStats{StatsX: srv.ExtendedStats(), Ops: ops.snapshot()}
 	if arch != nil {
 		st := arch.Status()
 		ds.Archive = &st
