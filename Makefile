@@ -4,13 +4,14 @@
 # points per recovery scheme; see DESIGN.md §8), the concurrent-server tests
 # under -race, the 2-client group-commit sweep smoke (DESIGN.md §9), the
 # media-failure sweep smoke and the race-enabled archive backup/restore
-# round-trip (DESIGN.md §10).
+# round-trip (DESIGN.md §10), and the page-corruption scrub sweep plus the
+# race-enabled background scrubber (DESIGN.md §12).
 
 GO ?= go
 
-.PHONY: check vet lint build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive bench-commit
+.PHONY: check vet lint build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub bench-commit
 
-check: vet lint build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive
+check: vet lint build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub
 
 vet:
 	$(GO) vet ./...
@@ -58,7 +59,22 @@ media-sweep-smoke:
 race-archive:
 	$(GO) test -race ./internal/archive/ -count=1
 
+# Page-corruption sweep: rot/tear every page of a seeded workload below the
+# checksum envelope, then demand detection, byte-identical repair (live log
+# or archive), restart over a fully damaged volume, and loud typed failure
+# when nothing can repair — all five schemes (DESIGN.md §12).
+scrub-sweep-smoke:
+	$(GO) test ./internal/harness/ -run TestScrubSweepSmoke -count=1
+
+# The online scrubber and single-page repair under the race detector:
+# paced scrubbing concurrent with committing sessions.
+race-scrub:
+	$(GO) test -race ./internal/server/ -run 'TestScrub|TestDemandRead|TestUnrepairable|TestBackgroundScrubber' -count=1
+
 # Multi-client commit-throughput benchmark: serialized baseline vs group
-# commit, per scheme, writing BENCH_commit.json.
+# commit, per scheme, writing BENCH_commit.json — plus the same grid over a
+# checksummed volume (BENCH_commit_checksum.json) so the integrity tax of
+# the per-page CRC envelope stays visible in the perf trajectory.
 bench-commit:
 	$(GO) run ./cmd/benchcommit -out BENCH_commit.json
+	$(GO) run ./cmd/benchcommit -checksum -out BENCH_commit_checksum.json

@@ -74,6 +74,8 @@ type Output struct {
 		WriteDelay    string `json:"log_write_delay"`
 		ObjectBytes   int    `json:"object_bytes"`
 		Clients       []int  `json:"client_counts"`
+		Checksum      bool   `json:"checksum_envelope"`
+		ChecksumNote  string `json:"checksum_note,omitempty"`
 	} `json:"config"`
 	Runs    []Run     `json:"runs"`
 	Summary []Summary `json:"summary"`
@@ -90,8 +92,10 @@ func main() {
 		nPerClient = flag.Int("n", 150, "update transactions per client")
 		writeDelay = flag.Duration("writedelay", 200*time.Microsecond, "modeled stable-log write latency per force")
 		clientsArg = flag.String("clients", "1,2,4,8", "comma-separated client counts")
+		cksum      = flag.Bool("checksum", false, "wrap the volume in the per-page checksum envelope (measures integrity overhead)")
 	)
 	flag.Parse()
+	checksummed = *cksum
 
 	var clientCounts []int
 	for _, s := range strings.Split(*clientsArg, ",") {
@@ -107,6 +111,12 @@ func main() {
 	doc.Config.WriteDelay = writeDelay.String()
 	doc.Config.ObjectBytes = objectBytes
 	doc.Config.Clients = clientCounts
+	doc.Config.Checksum = checksummed
+	if checksummed {
+		doc.Config.ChecksumNote = "volume behind disk.Checksummed: every data write stamps and every data read verifies a per-page CRC-32C envelope"
+	} else {
+		doc.Config.ChecksumNote = "raw volume; diff against BENCH_commit_checksum.json (same grid, -checksum) for the integrity tax of the CRC envelope"
+	}
 
 	for _, sc := range schemes {
 		var ser8, grp8 *Run
@@ -160,6 +170,18 @@ func main() {
 
 const objectBytes = 64
 
+// checksummed selects the -checksum arm: every cell's volume sits behind
+// disk.Checksummed, so data writes pay a CRC stamp and data reads a verify.
+var checksummed bool
+
+// benchStore builds one cell's volume per the -checksum flag.
+func benchStore() disk.Store {
+	if checksummed {
+		return disk.NewChecksummed(disk.NewMemStore())
+	}
+	return disk.NewMemStore()
+}
+
 // runOne executes one benchmark cell on a fresh in-memory server.
 func runOne(sc quickstore.Scheme, nclients int, group bool, nPerClient int, writeDelay time.Duration) Run {
 	mode, err := sc.ServerMode()
@@ -168,7 +190,7 @@ func runOne(sc quickstore.Scheme, nclients int, group bool, nPerClient int, writ
 	}
 	cfg := server.Config{
 		Mode:            mode,
-		Store:           disk.NewMemStore(),
+		Store:           benchStore(),
 		LogCapacity:     wal.DefaultCapacity,
 		CheckpointEvery: 1 << 30, // keep checkpoints out of the timed window
 		Serialize:       !group,

@@ -56,7 +56,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench | stats [-json] | backup | archive-status | restore [flags] | faults arm <plan> | faults disarm | faults list")
+		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench | stats [-json] | scrub [limit] | backup | archive-status | restore [flags] | faults arm <plan> | faults disarm | faults list")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "faults" {
@@ -68,6 +68,13 @@ func main() {
 	}
 	if flag.Arg(0) == "stats" {
 		if err := statsCmd(*addr, flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.Arg(0) == "scrub" {
+		if err := scrubCmd(*addr, flag.Args()[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
 			os.Exit(1)
 		}
@@ -254,6 +261,8 @@ func statsCmd(addr string, args []string) error {
 		x.PoolHits, x.PoolMisses, x.LatchContention)
 	fmt.Printf("lock manager     waits=%d\n", x.LockWaits)
 	fmt.Printf("data disk        reads=%d writes=%d\n", x.DataReads, x.DataWrites)
+	fmt.Printf("integrity        scanned=%d checksum_failures=%d repaired=%d unrepairable=%d\n",
+		x.ScrubScanned, x.ChecksumFailures, x.PagesRepaired, x.PagesUnrepairable)
 	if len(x.Ops) > 0 {
 		// Sort the map-keyed section: identical stats must print identically
 		// (scripts diff this output, and map iteration order is randomized).
@@ -276,6 +285,34 @@ func statsCmd(addr string, args []string) error {
 			a.Generation, a.Segments, a.ArchivedUpTo, a.LagBytes, a.SegmentsBehind)
 		fmt.Printf("  backups        count=%d last_backup_lsn=%d\n", a.Backups, a.LastBackupLSN)
 	}
+	return nil
+}
+
+// scrubCmd asks the daemon to verify (and repair) stored pages now. With no
+// argument the whole volume is scanned; with a numeric limit only the next
+// batch from the daemon's scrub cursor.
+func scrubCmd(addr string, args []string) error {
+	limit := 0
+	if len(args) == 1 {
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 {
+			return fmt.Errorf("usage: scrub [limit] (limit must be a non-negative integer)")
+		}
+		limit = n
+	} else if len(args) > 1 {
+		return fmt.Errorf("usage: scrub [limit]")
+	}
+	cli, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	report, err := cli.Scrub(limit)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scanned %d pages: %d checksum failures, %d repaired, %d unrepairable\n",
+		report.Scanned, report.Failures, report.Repaired, report.Unrepairable)
 	return nil
 }
 

@@ -28,17 +28,20 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7447", "listen address")
-		mode    = flag.String("mode", "esm", "recovery mode: esm|redo|wpl")
-		data    = flag.String("data", "", "data volume file (empty = in-memory)")
-		cacheMB = flag.Int("cache", 36, "server buffer pool (MB)")
-		logMB   = flag.Int("log", 256, "transaction log capacity (MB)")
-		gcDelay = flag.Duration("gcdelay", 0, "group-commit max batch delay (0 = batch without delay, <0 = disable group commit)")
-		shards  = flag.Int("shards", 0, "buffer pool latch shards (0 = default)")
-		serial  = flag.Bool("serialize", false, "serialize all sessions on one mutex (pre-group-commit behaviour)")
-		wplSync = flag.Bool("wpl-sync-install", false, "wpl: install committed pages inline at commit instead of in the background")
-		archDir = flag.String("archive-dir", "", "archive log segments and backups into this directory (empty = no archiving)")
-		archInt = flag.Duration("archive-every", 5*time.Second, "background archiver drain interval")
+		addr     = flag.String("addr", ":7447", "listen address")
+		mode     = flag.String("mode", "esm", "recovery mode: esm|redo|wpl")
+		data     = flag.String("data", "", "data volume file (empty = in-memory)")
+		cacheMB  = flag.Int("cache", 36, "server buffer pool (MB)")
+		logMB    = flag.Int("log", 256, "transaction log capacity (MB)")
+		gcDelay  = flag.Duration("gcdelay", 0, "group-commit max batch delay (0 = batch without delay, <0 = disable group commit)")
+		shards   = flag.Int("shards", 0, "buffer pool latch shards (0 = default)")
+		serial   = flag.Bool("serialize", false, "serialize all sessions on one mutex (pre-group-commit behaviour)")
+		wplSync  = flag.Bool("wpl-sync-install", false, "wpl: install committed pages inline at commit instead of in the background")
+		archDir  = flag.String("archive-dir", "", "archive log segments and backups into this directory (empty = no archiving)")
+		archInt  = flag.Duration("archive-every", 5*time.Second, "background archiver drain interval")
+		cksum    = flag.Bool("checksum", true, "verify per-page checksum envelopes on every read (the volume must have been written with checksums)")
+		scrubInt = flag.Duration("scrub-every", 0, "background scrubber tick (0 = no scrubbing; requires -checksum)")
+		scrubN   = flag.Int("scrub-pages", 0, "pages verified per scrubber tick (0 = default)")
 	)
 	flag.Parse()
 
@@ -75,9 +78,18 @@ func main() {
 		vol = fs
 	}
 	// The volume is always wrapped in the fault injector; it is transparent
-	// until a plan is armed (qsctl faults arm <plan>).
+	// until a plan is armed (qsctl faults arm <plan>). The checksum wrapper
+	// sits above it, so injected rot and tears land below the integrity
+	// envelope and are caught on the next read, exactly like media damage.
 	faults := faultinject.NewStore(vol)
 	cfg.Store = faults
+	if *cksum {
+		cfg.Store = disk.NewChecksummed(faults)
+		cfg.ScrubEvery = *scrubInt
+		cfg.ScrubPages = *scrubN
+	} else if *scrubInt > 0 {
+		log.Fatalf("quickstored: -scrub-every needs -checksum (nothing to verify without envelopes)")
+	}
 	cfg.Log = wal.New(cfg.LogCapacity)
 	var arch *archive.Archiver
 	if *archDir != "" {
@@ -85,7 +97,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("quickstored: opening archive: %v", err)
 		}
-		arch, err = archive.NewArchiver(cfg.Log, faults, blobs, archive.Options{})
+		// The archiver scans cfg.Store, not the raw volume: with checksums on,
+		// backups hold verified bytes and refuse to archive rot.
+		arch, err = archive.NewArchiver(cfg.Log, cfg.Store, blobs, archive.Options{})
 		if err != nil {
 			log.Fatalf("quickstored: starting archiver: %v", err)
 		}

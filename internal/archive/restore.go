@@ -19,9 +19,12 @@ import (
 //   - Config.PreTruncate, so checkpoints drain the archive up to their
 //     computed head before truncating (the normal, non-deferred path);
 //   - Config.PostCommit, the backpressure hook: a committer that finds the
-//     archiver more than MaxLagBytes behind drains inline, bounding lag.
+//     archiver more than MaxLagBytes behind drains inline, bounding lag;
+//   - Config.RepairPage, so a corrupt page the live log cannot rebuild is
+//     repaired from the newest backup plus per-page redo (RepairPage).
 //
-// Call before server.New; cfg.Log must be the same log the archiver drains.
+// Call before server.New with cfg.Mode already set; cfg.Log must be the same
+// log the archiver drains.
 func Wire(cfg *server.Config, a *Archiver) {
 	if cfg.Log != a.log {
 		panic("archive: Wire with a different log than the archiver drains")
@@ -34,6 +37,10 @@ func Wire(cfg *server.Config, a *Archiver) {
 		if a.Lag() > a.opts.MaxLagBytes {
 			_ = a.Drain() // best effort; the gate keeps correctness regardless
 		}
+	}
+	mode, log, blobs := cfg.Mode, a.log, a.blobs
+	cfg.RepairPage = func(pid page.ID) ([]byte, error) {
+		return RepairPage(blobs, RepairOptions{Mode: mode, Page: pid, Log: log})
 	}
 }
 

@@ -495,7 +495,8 @@ func structuralChange(old, cur []byte) bool {
 	if m := page.Wrap(cur).SlotCount(); m > n {
 		n = m
 	}
-	for i := page.Size - 4*n; i < page.Size; i++ {
+	dirEnd := page.Size - page.TrailerSize
+	for i := dirEnd - 4*n; i < dirEnd; i++ {
 		if old[i] != cur[i] {
 			return true
 		}

@@ -161,8 +161,15 @@ func (s *FileStore) ReadPage(id page.ID, buf []byte) error {
 	off := int64(id) * page.Size
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if off+page.Size > s.size {
+	if off >= s.size {
 		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	if off+page.Size > s.size {
+		// The file ends mid-page: a write was torn by a crash. This is
+		// damage, not absence — reporting ErrNotFound here would hand the
+		// reader a silent zero page in place of a partially persisted one.
+		return fmt.Errorf("%w: %v: volume file ends %d bytes into the page",
+			ErrCorruptPage, id, s.size-off)
 	}
 	_, err := s.f.ReadAt(buf, off)
 	return err

@@ -78,7 +78,11 @@ type Plan struct {
 	WriteErrorRate float64 // WritePage fails with a transient error
 	TornWriteRate  float64 // WritePage persists only a sector-aligned prefix, then fails
 	ReorderWindow  int     // buffer up to N writes and apply them in shuffled order
-	BitFlipRate    float64 // Blobs wrapper: a stored blob silently gets one bit flipped
+	// BitFlipRate injects silent single-bit rot: a stored blob (Blobs
+	// wrapper) or data page (Store wrapper) gets one bit flipped while the
+	// write reports success — the caller cannot tell anything went wrong
+	// until a later read checks an integrity envelope.
+	BitFlipRate float64
 
 	// Transport faults (Transport wrapper).
 	DropRate      float64       // request is never sent; caller sees a timeout-like error
@@ -97,6 +101,7 @@ func Plans() map[string]Plan {
 		"torn":      {Name: "torn", TornWriteRate: 0.10},
 		"reorder":   {Name: "reorder", ReorderWindow: 8},
 		"bitrot":    {Name: "bitrot", BitFlipRate: 0.25},
+		"pagerot":   {Name: "pagerot", BitFlipRate: 0.10},
 		"flaky-net": {Name: "flaky-net", DropRate: 0.05, DupRate: 0.02, DelayRate: 0.10, MaxDelay: 2 * time.Millisecond},
 		"chaos": {Name: "chaos", ReadErrorRate: 0.02, WriteErrorRate: 0.02, TornWriteRate: 0.02,
 			DropRate: 0.02, DupRate: 0.01, DelayRate: 0.05, ResetOnCommit: 0.05},

@@ -141,6 +141,16 @@ func (s *Store) WritePage(id page.ID, data []byte) error {
 		}
 		return injected("torn write", seq)
 	}
+	if s.plan.BitFlipRate > 0 && s.rng.float() < s.plan.BitFlipRate {
+		// Silent rot: one bit of the stored page differs from what was
+		// written, and the write still reports success (no injected error —
+		// only an integrity envelope on a later read can catch this).
+		s.faults++
+		rotted := append([]byte(nil), data...)
+		bit := s.rng.intn(len(rotted) * 8)
+		rotted[bit/8] ^= 1 << (bit % 8)
+		return s.inner.WritePage(id, rotted)
+	}
 	if s.plan.ReorderWindow > 1 {
 		s.pending = append(s.pending, pendingWrite{id: id, data: append([]byte(nil), data...)})
 		if len(s.pending) >= s.plan.ReorderWindow {

@@ -1,0 +1,30 @@
+package harness
+
+import "testing"
+
+func TestScrubSweepSmoke(t *testing.T) {
+	for _, sys := range SweepSystems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			rep, err := ScrubSweep(sys, 7)
+			if err != nil {
+				t.Fatalf("scrub sweep did not run: %v", err)
+			}
+			for _, f := range rep.Failures {
+				t.Error(f)
+			}
+			if rep.Pages < 4 {
+				t.Errorf("workload produced only %d data pages; the sweep is not meaningful", rep.Pages)
+			}
+			if rep.Online < int64(2*rep.Pages) {
+				t.Errorf("online rounds repaired %d pages, want at least %d (2 rounds over the volume)",
+					rep.Online, 2*rep.Pages)
+			}
+			if rep.Restart < int64(rep.Pages) {
+				t.Errorf("restart round repaired %d pages, want at least %d", rep.Restart, rep.Pages)
+			}
+			t.Logf("system=%s pages=%d online-repairs=%d restart-repairs=%d",
+				sys.Name, rep.Pages, rep.Online, rep.Restart)
+		})
+	}
+}

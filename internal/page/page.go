@@ -14,8 +14,12 @@
 //	[12,14)  slot count (uint16)
 //	[14,16)  free-space offset (uint16), start of unused object area
 //	[16,...) object area
-//	[...,8K) slot directory: 4 bytes per slot (offset uint16, length uint16),
-//	         slot i at bytes [Size-4*(i+1), Size-4*i)
+//	[...,8K-16) slot directory: 4 bytes per slot (offset uint16, length uint16),
+//	         slot i at bytes [Size-TrailerSize-4*(i+1), Size-TrailerSize-4*i)
+//	[8K-16,8K) integrity trailer, reserved for the storage layer
+//	         (disk.Checksummed stamps a CRC envelope here; the page code
+//	         never touches these bytes, so the envelope survives every
+//	         in-memory copy, backup and whole-page log image)
 package page
 
 import (
@@ -29,6 +33,12 @@ const Size = 8192
 
 // HeaderSize is the number of bytes reserved at the start of each page.
 const HeaderSize = 16
+
+// TrailerSize is the number of bytes reserved at the end of each page for
+// the storage layer's integrity envelope (disk.StampTrailer). The slot
+// directory grows down from Size-TrailerSize, so these bytes are never used
+// for objects or slots.
+const TrailerSize = 16
 
 const slotSize = 4
 
@@ -83,7 +93,7 @@ var (
 )
 
 // MaxObjectSize is the largest object a single page can hold.
-const MaxObjectSize = Size - HeaderSize - slotSize
+const MaxObjectSize = Size - HeaderSize - TrailerSize - slotSize
 
 // Page is an 8 KB database page. The zero value is not valid; use Init or
 // interpret bytes received from disk or the network in place.
@@ -139,7 +149,7 @@ func (p *Page) freeOff() int { return int(binary.LittleEndian.Uint16(p.buf[14:])
 
 func (p *Page) setFreeOff(off int) { binary.LittleEndian.PutUint16(p.buf[14:], uint16(off)) }
 
-func (p *Page) slotPos(slot int) int { return Size - slotSize*(slot+1) }
+func (p *Page) slotPos(slot int) int { return Size - TrailerSize - slotSize*(slot+1) }
 
 func (p *Page) slot(slot int) (off, length int) {
 	pos := p.slotPos(slot)

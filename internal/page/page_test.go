@@ -18,7 +18,7 @@ func TestInitEmpty(t *testing.T) {
 	if p.SlotCount() != 0 {
 		t.Fatalf("SlotCount = %d, want 0", p.SlotCount())
 	}
-	want := Size - HeaderSize - slotSize
+	want := Size - HeaderSize - TrailerSize - slotSize
 	if p.FreeSpace() != want {
 		t.Fatalf("FreeSpace = %d, want %d", p.FreeSpace(), want)
 	}

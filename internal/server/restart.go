@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/disk"
 	"repro/internal/logrec"
 	"repro/internal/page"
 	"repro/internal/wal"
@@ -253,6 +254,8 @@ func (sn *Session) Restart() error {
 	s := sn.s
 	s.gate.Lock()
 	defer s.gate.Unlock()
+	s.restarting = true
+	defer func() { s.restarting = false }()
 	atomic.AddInt64(&s.stats.Restarts, 1)
 	sb, err := s.readSuperblock()
 	if err != nil {
@@ -262,6 +265,16 @@ func (sn *Session) Restart() error {
 	s.nextPage = maxPID(s.nextPage, sb.nextPage)
 	s.nextTID = maxTID(s.nextTID, sb.nextTID)
 	s.allocMu.Unlock()
+	if _, ok := s.store.(*disk.Checksummed); ok {
+		// A checksummed volume is verified before any recovery work: every
+		// corrupt page is repaired here (from the live log or the archive),
+		// so redo and undo replay over sound pages. This cannot be deferred
+		// to redo's own fetches — they run inside a log scan, which holds
+		// the log mutex repair itself needs.
+		if err := s.verifyVolumeQuiesced(sn); err != nil {
+			return err
+		}
+	}
 	start := s.log.Head()
 	var ckpt *ckptPayload
 	if sb.hasCheckpoint {

@@ -142,6 +142,20 @@ type Config struct {
 	// session drains the archive before proceeding, bounding how far the
 	// archive can fall behind the log.
 	PostCommit func()
+	// RepairPage, when non-nil, rebuilds the current contents of one corrupt
+	// page from media beyond the live log. archive.Wire installs
+	// backup-plus-archived-log per-page redo here; repair (internal/server/
+	// scrub.go) calls it when the live log alone cannot determine the page.
+	// Called under a shard latch — implementations must only touch the log
+	// and archive media, never server state.
+	RepairPage func(pid page.ID) ([]byte, error)
+	// ScrubEvery, when positive, runs the background scrubber: every tick it
+	// verifies a batch of ScrubPages stored pages against their integrity
+	// envelopes and repairs what it finds (internal/server/scrub.go).
+	ScrubEvery time.Duration
+	// ScrubPages is the per-tick page budget of the background scrubber
+	// (DefaultScrubPages if 0).
+	ScrubPages int
 }
 
 // DefaultPoolPages is 36 MB of 8 KB frames, the paper's server memory.
@@ -168,6 +182,10 @@ type Stats struct {
 	CheckpointsFailed  int64 // checkpoints abandoned on a disk error (retried later)
 	InstallsDeferred   int64 // WPL installs deferred on a disk error (page stays in the WPL table)
 	Restarts           int64
+	ScrubScanned       int64 // pages verified by the scrubber
+	ChecksumFailures   int64 // reads that hit a corrupt page (rot, tear, misdirection)
+	PagesRepaired      int64 // corrupt pages rebuilt and written home
+	PagesUnrepairable  int64 // corrupt pages no source could rebuild
 }
 
 // StatsX extends Stats with the concurrency counters introduced with group
@@ -253,6 +271,12 @@ type Server struct {
 	installWG sync.WaitGroup
 	closeOnce sync.Once
 
+	scrubMu     sync.Mutex
+	scrubCursor page.ID       // next page the paced scrubber will verify
+	scrubStop   chan struct{} // non-nil iff ScrubEvery > 0
+	scrubWG     sync.WaitGroup
+	restarting  bool // set under gate.W for the duration of Restart
+
 	// redoApplied records the most recent restart's per-worker apply counts;
 	// written under gate.W, read under gate.R (ExtendedStats).
 	redoApplied []int64
@@ -293,13 +317,27 @@ func New(cfg Config) *Server {
 		s.installWG.Add(1)
 		go s.installWorker()
 	}
+	if cfg.ScrubEvery > 0 {
+		batch := cfg.ScrubPages
+		if batch <= 0 {
+			batch = DefaultScrubPages
+		}
+		s.scrubStop = make(chan struct{})
+		s.scrubWG.Add(1)
+		go s.scrubWorker(cfg.ScrubEvery, batch)
+	}
 	return s
 }
 
-// Close stops the background installer, if any. Safe to call more than once;
-// a closed server still serves requests (installs just run inline again).
+// Close stops the background installer and scrubber, if any. Safe to call
+// more than once; a closed server still serves requests (installs just run
+// inline again).
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		if s.scrubStop != nil {
+			close(s.scrubStop)
+			s.scrubWG.Wait()
+		}
 		if s.installCh != nil {
 			ch := s.installCh
 			s.gate.Lock()
@@ -332,6 +370,10 @@ func (s *Server) Stats() Stats {
 		CheckpointsFailed:  ld(&s.stats.CheckpointsFailed),
 		InstallsDeferred:   ld(&s.stats.InstallsDeferred),
 		Restarts:           ld(&s.stats.Restarts),
+		ScrubScanned:       ld(&s.stats.ScrubScanned),
+		ChecksumFailures:   ld(&s.stats.ChecksumFailures),
+		PagesRepaired:      ld(&s.stats.PagesRepaired),
+		PagesUnrepairable:  ld(&s.stats.PagesUnrepairable),
 	}
 }
 
@@ -522,6 +564,22 @@ func (s *Server) fetchShardLocked(sn *Session, sh *buffer.PoolShard, pid page.ID
 		switch {
 		case errors.Is(err, disk.ErrNotFound) && !mustExist:
 			page.Wrap(buf[:]).Init(pid)
+		case errors.Is(err, disk.ErrCorruptPage):
+			// Rot, a torn write, or a misdirected write under the stored
+			// copy. Repair in place before serving or redoing anything;
+			// unrepairable pages fail loudly and the damaged bytes are
+			// never served. During Restart repair cannot run here — redo
+			// fetches from inside a log scan, which holds the log mutex
+			// repair needs — so recovery relies on verifyVolumeQuiesced
+			// having already healed the volume and treats fresh damage as
+			// fatal rather than deadlocking.
+			atomic.AddInt64(&s.stats.ChecksumFailures, 1)
+			if s.restarting {
+				return nil, err
+			}
+			if rerr := s.repairShardLocked(sn, sh, pid, err, buf[:]); rerr != nil {
+				return nil, rerr
+			}
 		case err != nil:
 			return nil, err
 		}
@@ -1061,8 +1119,8 @@ type superblock struct {
 	hasCheckpoint bool
 }
 
-func (s *Server) writeSuperblock(sn *Session, sb superblock) error {
-	var buf [page.Size]byte
+func encodeSuperblock(sb superblock) []byte {
+	buf := make([]byte, page.Size)
 	binary.LittleEndian.PutUint32(buf[0:], superMagic)
 	flags := uint32(0)
 	if sb.hasCheckpoint {
@@ -1072,7 +1130,11 @@ func (s *Server) writeSuperblock(sn *Session, sb superblock) error {
 	binary.LittleEndian.PutUint64(buf[8:], sb.checkpointLSN)
 	binary.LittleEndian.PutUint32(buf[16:], uint32(sb.nextPage))
 	binary.LittleEndian.PutUint64(buf[24:], uint64(sb.nextTID))
-	if err := s.store.WritePage(superblockPage, buf[:]); err != nil {
+	return buf
+}
+
+func (s *Server) writeSuperblock(sn *Session, sb superblock) error {
+	if err := s.store.WritePage(superblockPage, encodeSuperblock(sb)); err != nil {
 		return err
 	}
 	sn.meter().DataWriteAsync(1)
@@ -1084,6 +1146,26 @@ func (s *Server) readSuperblock() (superblock, error) {
 	err := s.store.ReadPage(superblockPage, buf[:])
 	if errors.Is(err, disk.ErrNotFound) {
 		return superblock{nextPage: 1, nextTID: 1}, nil
+	}
+	if errors.Is(err, disk.ErrCorruptPage) {
+		// A rotted or torn master record. Rebuild it from the newest
+		// checkpoint record still in the log — never from the archive, whose
+		// copy could name an older checkpoint and make restart skip redo it
+		// still needs. No checkpoint record means the superblock cannot be
+		// trusted at all: fail loudly rather than recover from a guess.
+		atomic.AddInt64(&s.stats.ChecksumFailures, 1)
+		sb, rerr := s.superblockFromLog()
+		if rerr != nil {
+			atomic.AddInt64(&s.stats.PagesUnrepairable, 1)
+			return superblock{}, fmt.Errorf("%w: %v: %v: %w",
+				ErrUnrepairable, superblockPage, rerr, err)
+		}
+		if werr := s.store.WritePage(superblockPage, encodeSuperblock(sb)); werr != nil {
+			return superblock{}, werr
+		}
+		atomic.AddInt64(&s.stats.DataWrites, 1)
+		atomic.AddInt64(&s.stats.PagesRepaired, 1)
+		return sb, nil
 	}
 	if err != nil {
 		return superblock{}, err

@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/faultinject"
+	"repro/internal/lock"
+	"repro/internal/logrec"
+	"repro/internal/page"
+	"repro/internal/server"
+)
+
+// TestCorruptPageCrossesWireTyped drives the integrity surface end to end
+// over TCP: scrubbing a healthy volume succeeds, and once a page is rotted
+// beyond repair (fresh server, fresh log, no archive) both a demand read
+// and a scrub fail with errors a remote client can match as
+// disk.ErrCorruptPage — the stCorrupt status mapping in both directions.
+func TestCorruptPageCrossesWireTyped(t *testing.T) {
+	mem := disk.NewMemStore()
+	cs := disk.NewChecksummed(mem)
+	cfg := server.Config{
+		Mode:            server.ModeESM,
+		Store:           cs,
+		PoolPages:       16,
+		LogCapacity:     4 << 20,
+		LockTimeout:     time.Second,
+		CheckpointEvery: 1 << 30,
+	}
+	srv := server.New(cfg)
+	sn := srv.NewSession(nil, nil)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go Serve(lis, srv)
+	cli, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	tid, _ := cli.Begin()
+	pid, err := cli.AllocPage(tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := page.New(pid)
+	img := logrec.NewPageImage(tid, pid, pg.Bytes())
+	if err := cli.ShipLog(tid, img.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.ShipPage(tid, pid, pg.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Commit(tid); err != nil {
+		t.Fatal(err)
+	}
+	// A scrub over the wire on the healthy volume reports clean.
+	rep, err := cli.Scrub(0)
+	if err != nil {
+		t.Fatalf("scrub of healthy volume: %v", err)
+	}
+	if rep.Failures != 0 || rep.Unrepairable != 0 {
+		t.Fatalf("healthy volume scrub report: %+v", rep)
+	}
+	// Persist everything and record the allocation bounds in the superblock.
+	if err := sn.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh server over the same volume with a fresh, empty log and no
+	// archive has no redundancy: corruption introduced now is unrepairable.
+	srv2 := server.New(cfg)
+	if err := srv2.NewSession(nil, nil).Restart(); err != nil {
+		t.Fatalf("process restart on healthy volume: %v", err)
+	}
+	lis2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis2.Close()
+	go Serve(lis2, srv2)
+	cli2, err := Dial(lis2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	if _, err := faultinject.RotPage(mem, pid, 42); err != nil {
+		t.Fatal(err)
+	}
+	tid2, _ := cli2.Begin()
+	if _, err := cli2.ReadPage(tid2, pid, lock.Shared); !errors.Is(err, disk.ErrCorruptPage) {
+		t.Fatalf("demand read of unrepairable page over TCP: err = %v, want ErrCorruptPage", err)
+	}
+	cli2.Abort(tid2)
+	rep2, err := cli2.Scrub(0)
+	if !errors.Is(err, disk.ErrCorruptPage) {
+		t.Fatalf("scrub of unrepairable page over TCP: err = %v (report %+v), want ErrCorruptPage", err, rep2)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/archive"
+	"repro/internal/disk"
 	"repro/internal/faultinject"
 	"repro/internal/lock"
 	"repro/internal/logrec"
@@ -43,6 +44,7 @@ const (
 	opStats     // fetch DaemonStats as JSON (management, not part of Service)
 	opBackup    // take an online fuzzy backup (management, not part of Service)
 	opArchStats // fetch archive.Status as JSON (management, not part of Service)
+	opScrub     // verify/repair stored pages now (management, not part of Service)
 )
 
 // opName returns the stable human-readable name of an op code, used as the
@@ -73,6 +75,8 @@ func opName(op byte) string {
 		return "backup"
 	case opArchStats:
 		return "archive-status"
+	case opScrub:
+		return "scrub"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}
@@ -119,6 +123,7 @@ const (
 	stDeadlock
 	stNoTxn
 	stFaultAbort // a disk fault hit this request; the transaction was aborted
+	stCorrupt    // a corrupt page was detected and could not be repaired
 )
 
 // ErrTxnAbortedByFault is the client-side form of stFaultAbort: the server
@@ -271,6 +276,8 @@ func serveConn(conn net.Conn, srv *server.Server, opts ServeOpts, ops *opCounter
 			status, payload = handleBackup(opts.Archive)
 		} else if f.op == opArchStats {
 			status, payload = handleArchStats(opts.Archive)
+		} else if f.op == opScrub {
+			status, payload = handleScrub(sn, f.payload)
 		} else {
 			status, payload = dispatch(sn, f)
 		}
@@ -361,6 +368,27 @@ func handleBackup(arch *archive.Archiver) (byte, []byte) {
 	return stOK, out
 }
 
+// handleScrub serves the opScrub management op: verify (and repair) stored
+// pages now. Payload: [u32 limit]; limit 0 scans the whole volume, a
+// positive limit scans the next batch from the daemon's scrub cursor. The
+// response is the ScrubReport as JSON; an unrepairable page stops the pass
+// and comes back as stCorrupt so the client sees the typed error.
+func handleScrub(sn *server.Session, payload []byte) (byte, []byte) {
+	limit := 0
+	if len(payload) >= 4 {
+		limit = int(binary.LittleEndian.Uint32(payload))
+	}
+	report, err := sn.Scrub(limit)
+	if err != nil {
+		return stCorrupt, []byte(err.Error())
+	}
+	out, err := json.Marshal(report)
+	if err != nil {
+		return stError, []byte(err.Error())
+	}
+	return stOK, out
+}
+
 // handleArchStats serves the opArchStats management op.
 func handleArchStats(arch *archive.Archiver) (byte, []byte) {
 	if arch == nil {
@@ -382,6 +410,8 @@ func dispatch(sn *server.Session, f frame) (byte, []byte) {
 			return stNoTxn, []byte(err.Error())
 		case errors.Is(err, faultinject.ErrInjected):
 			return stFaultAbort, []byte(err.Error())
+		case errors.Is(err, disk.ErrCorruptPage):
+			return stCorrupt, []byte(err.Error())
 		default:
 			return stError, []byte(err.Error())
 		}
@@ -532,6 +562,8 @@ func (c *TCPClient) call(f frame) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", server.ErrNoTxn, payload)
 	case stFaultAbort:
 		return nil, fmt.Errorf("%w: %s", ErrTxnAbortedByFault, payload)
+	case stCorrupt:
+		return nil, fmt.Errorf("%w: %s", disk.ErrCorruptPage, payload)
 	default:
 		return nil, errors.New(string(payload))
 	}
@@ -578,6 +610,24 @@ func (c *TCPClient) Backup() (archive.BackupInfo, error) {
 		return archive.BackupInfo{}, fmt.Errorf("wire: bad backup response: %w", err)
 	}
 	return info, nil
+}
+
+// Scrub asks the daemon to verify (and repair) stored pages now (qsctl
+// scrub). limit 0 scans the whole volume; a positive limit scans the next
+// batch from the daemon's scrub cursor. An unrepairable page surfaces as an
+// error matching disk.ErrCorruptPage.
+func (c *TCPClient) Scrub(limit int) (server.ScrubReport, error) {
+	var payload [4]byte
+	binary.LittleEndian.PutUint32(payload[:], uint32(limit))
+	out, err := c.call(frame{op: opScrub, payload: payload[:]})
+	if err != nil {
+		return server.ScrubReport{}, err
+	}
+	var report server.ScrubReport
+	if err := json.Unmarshal(out, &report); err != nil {
+		return server.ScrubReport{}, fmt.Errorf("wire: bad scrub response: %w", err)
+	}
+	return report, nil
 }
 
 // ArchiveStatus fetches the daemon's archiver snapshot (qsctl archive-status).
