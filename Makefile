@@ -4,14 +4,17 @@
 # points per recovery scheme; see DESIGN.md §8), the concurrent-server tests
 # under -race, the 2-client group-commit sweep smoke (DESIGN.md §9), the
 # media-failure sweep smoke and the race-enabled archive backup/restore
-# round-trip (DESIGN.md §10), and the page-corruption scrub sweep plus the
-# race-enabled background scrubber (DESIGN.md §12).
+# round-trip (DESIGN.md §10), the page-corruption scrub sweep plus the
+# race-enabled background scrubber (DESIGN.md §12), and the fuzzy-checkpoint
+# / page-cleaner surface: the cleaner racing committing sessions under
+# -race, the fuzzy crash-point sweep smoke, and one pass of the checkpoint
+# latency benchmark (DESIGN.md §13).
 
 GO ?= go
 
-.PHONY: check vet lint build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub bench-commit
+.PHONY: check vet lint build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke bench-commit bench-ckpt
 
-check: vet lint build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub
+check: vet lint build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke
 
 vet:
 	$(GO) vet ./...
@@ -71,6 +74,22 @@ scrub-sweep-smoke:
 race-scrub:
 	$(GO) test -race ./internal/server/ -run 'TestScrub|TestDemandRead|TestUnrepairable|TestBackgroundScrubber' -count=1
 
+# The background page cleaner and fuzzy checkpoints racing committing
+# sessions under the race detector, including crash+restart afterwards
+# (DESIGN.md §13).
+race-cleaner:
+	$(GO) test -race ./internal/server/ -run 'TestCleaner|TestClean|TestMaintenanceDuringRestart' -count=1
+
+# Fuzzy-checkpoint crash sweep: cuts inside cleaner page writes and in the
+# fuzzy-checkpoint-record -> superblock window, all five schemes.
+fuzzy-sweep-smoke:
+	$(GO) test ./internal/harness/ -run 'TestFuzzy' -count=1 -sweep.budget=50
+
+# One pass of the checkpoint latency benchmark as a smoke: proves both arms
+# run end to end; the report goes to a scratch file, not the repo.
+bench-ckpt-smoke:
+	$(GO) run ./cmd/benchcommit -ckpt -out $${TMPDIR:-/tmp}/BENCH_checkpoint_smoke.json
+
 # Multi-client commit-throughput benchmark: serialized baseline vs group
 # commit, per scheme, writing BENCH_commit.json — plus the same grid over a
 # checksummed volume (BENCH_commit_checksum.json) so the integrity tax of
@@ -78,3 +97,9 @@ race-scrub:
 bench-commit:
 	$(GO) run ./cmd/benchcommit -out BENCH_commit.json
 	$(GO) run ./cmd/benchcommit -checksum -out BENCH_commit_checksum.json
+
+# Commit p99 during an active checkpoint, sharp stop-the-world flush vs
+# fuzzy checkpoint + background cleaner, writing BENCH_checkpoint.json
+# (DESIGN.md §13).
+bench-ckpt:
+	$(GO) run ./cmd/benchcommit -ckpt -out BENCH_checkpoint.json

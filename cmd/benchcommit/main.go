@@ -93,9 +93,19 @@ func main() {
 		writeDelay = flag.Duration("writedelay", 200*time.Microsecond, "modeled stable-log write latency per force")
 		clientsArg = flag.String("clients", "1,2,4,8", "comma-separated client counts")
 		cksum      = flag.Bool("checksum", false, "wrap the volume in the per-page checksum envelope (measures integrity overhead)")
+		ckpt       = flag.Bool("ckpt", false, "run the checkpoint benchmark instead (commit p99 during a checkpoint, sharp vs fuzzy; writes BENCH_checkpoint.json)")
 	)
 	flag.Parse()
 	checksummed = *cksum
+
+	if *ckpt {
+		dest := *out
+		if dest == "BENCH_commit.json" {
+			dest = "BENCH_checkpoint.json"
+		}
+		runCkptBench(dest, *writeDelay)
+		return
+	}
 
 	var clientCounts []int
 	for _, s := range strings.Split(*clientsArg, ",") {

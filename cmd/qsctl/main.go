@@ -261,6 +261,10 @@ func statsCmd(addr string, args []string) error {
 		x.PoolHits, x.PoolMisses, x.LatchContention)
 	fmt.Printf("lock manager     waits=%d\n", x.LockWaits)
 	fmt.Printf("data disk        reads=%d writes=%d\n", x.DataReads, x.DataWrites)
+	fmt.Printf("page cleaner     cleaner_pages=%d passes=%d hot_skips=%d dirty_pages=%d\n",
+		x.CleanerPages, x.CleanerPasses, x.CleanerHotSkips, x.DirtyPages)
+	fmt.Printf("checkpointing    redo_distance_bytes=%d ckpt_stall_ns=%d\n",
+		x.RedoDistanceBytes, x.CkptStallNs)
 	fmt.Printf("integrity        scanned=%d checksum_failures=%d repaired=%d unrepairable=%d\n",
 		x.ScrubScanned, x.ChecksumFailures, x.PagesRepaired, x.PagesUnrepairable)
 	if len(x.Ops) > 0 {

@@ -42,6 +42,10 @@ func main() {
 		cksum    = flag.Bool("checksum", true, "verify per-page checksum envelopes on every read (the volume must have been written with checksums)")
 		scrubInt = flag.Duration("scrub-every", 0, "background scrubber tick (0 = no scrubbing; requires -checksum)")
 		scrubN   = flag.Int("scrub-pages", 0, "pages verified per scrubber tick (0 = default)")
+		fuzzy    = flag.Bool("fuzzy-ckpt", false, "fuzzy checkpoints: log the dirty page table instead of flushing it (pair with -cleaner-every)")
+		cleanInt = flag.Duration("cleaner-every", 0, "background page cleaner tick (0 = no cleaner)")
+		cleanN   = flag.Int("cleaner-batch", 0, "pages written per cleaner tick (0 = default)")
+		dirtyTgt = flag.Int("dirty-target", 0, "dirty-page count the cleaner drains toward; commits apply soft backpressure past 2x (0 = clean whenever dirty pages exist)")
 	)
 	flag.Parse()
 
@@ -58,6 +62,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *fuzzy && m == server.ModeWPL {
+		log.Printf("quickstored: note: WPL checkpoints never flush pages; -fuzzy-ckpt only changes the checkpoint record contents")
+	}
+	if *cleanInt > 0 && m == server.ModeWPL {
+		log.Fatalf("quickstored: -cleaner-every is meaningless under WPL (uncommitted pages must never reach their home location)")
+	}
 	cfg := server.Config{
 		Mode:             m,
 		PoolPages:        *cacheMB << 20 / page.Size,
@@ -66,6 +76,10 @@ func main() {
 		Serialize:        *serial,
 		GroupCommitDelay: *gcDelay,
 		WPLInstallAsync:  !*wplSync,
+		FuzzyCheckpoints: *fuzzy,
+		CleanerEvery:     *cleanInt,
+		CleanerBatch:     *cleanN,
+		DirtyPageTarget:  *dirtyTgt,
 	}
 	recover := false
 	var vol disk.Store = disk.NewMemStore()
@@ -145,7 +159,16 @@ func main() {
 		<-sig
 		log.Printf("shutting down: checkpointing")
 		srv.Close() // drain the WPL install worker before the final checkpoint
-		if err := srv.NewSession(nil, nil).Checkpoint(); err != nil {
+		sn := srv.NewSession(nil, nil)
+		if *fuzzy {
+			// A fuzzy checkpoint does not flush pages, and the in-memory log
+			// dies with the process: write everything home so a file-backed
+			// volume reopens clean (DESIGN.md §13).
+			if err := sn.FlushAll(); err != nil {
+				log.Printf("final flush failed: %v", err)
+			}
+		}
+		if err := sn.Checkpoint(); err != nil {
 			log.Printf("checkpoint failed: %v", err)
 		}
 		if arch != nil {

@@ -154,6 +154,19 @@ func (s *Sharded) DirtyPages() []page.ID {
 	return out
 }
 
+// DirtyCount returns the total number of resident dirty pages, latching each
+// shard in turn (a point-in-time estimate, not a consistent snapshot — fine
+// for pacing and stats, which is all it is used for).
+func (s *Sharded) DirtyCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.Lock()
+		n += sh.Pool.DirtyCount()
+		sh.Unlock()
+	}
+	return n
+}
+
 // Each calls fn for every resident frame, holding each shard's latch in
 // turn. fn must not touch other shards.
 func (s *Sharded) Each(fn func(*Frame)) {

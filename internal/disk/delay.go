@@ -1,0 +1,53 @@
+package disk
+
+import (
+	"time"
+
+	"repro/internal/page"
+)
+
+// Delayed wraps a Store and sleeps a fixed duration before each page read or
+// write, modeling data-disk latency the same way wal.Log.SetWriteDelay models
+// log-device latency. Benchmarks use it to make page flushes cost real time —
+// without it a sharp checkpoint "flushes" a memory store in microseconds and
+// the stall it imposes on commits is invisible. Not used by any recovery
+// path, and never by the crash-point sweeps (which must not observe time).
+type Delayed struct {
+	inner Store
+	read  time.Duration
+	write time.Duration
+}
+
+// NewDelayed wraps inner with the given per-ReadPage and per-WritePage
+// latencies (either may be zero).
+func NewDelayed(inner Store, read, write time.Duration) *Delayed {
+	return &Delayed{inner: inner, read: read, write: write}
+}
+
+// ReadPage implements Store, paying the modeled read latency first.
+func (d *Delayed) ReadPage(id page.ID, buf []byte) error {
+	if d.read > 0 {
+		time.Sleep(d.read)
+	}
+	return d.inner.ReadPage(id, buf)
+}
+
+// WritePage implements Store, paying the modeled write latency first.
+func (d *Delayed) WritePage(id page.ID, data []byte) error {
+	if d.write > 0 {
+		time.Sleep(d.write)
+	}
+	return d.inner.WritePage(id, data)
+}
+
+// Pages implements Store.
+func (d *Delayed) Pages() int { return d.inner.Pages() }
+
+// ForEachPage implements Store (no modeled latency: it backs bulk
+// maintenance scans, not the per-page protocol paths being measured).
+func (d *Delayed) ForEachPage(fn func(id page.ID, data []byte) error) error {
+	return d.inner.ForEachPage(fn)
+}
+
+// Close implements Store.
+func (d *Delayed) Close() error { return d.inner.Close() }

@@ -1,0 +1,56 @@
+package harness
+
+// Fuzzy-checkpoint + page-cleaner crash-point sweep (DESIGN.md §13).
+//
+// Same workload, fuse, and recovery invariants as the classic sweep
+// (sweep.go), but the server runs with FuzzyCheckpoints enabled and the page
+// cleaner is driven synchronously between stamp transactions. That folds two
+// new families of stable-storage events into the numbered crash-point
+// sequence:
+//
+//   - cleaner page writes: each WritePage a Clean batch issues (and any WAL
+//     force it performs first to honor the WAL rule) is a crash point, so the
+//     sweep crashes the server halfway through cleaner batches — after the
+//     log force but before the data write, and between writes of one batch;
+//   - the fuzzy-checkpoint window: checkpointCore appends the checkpoint
+//     record, forces the log (stable-end advance = one event) and then
+//     writes the superblock master record (one data-write event), so sampled
+//     points land between the checkpoint record becoming durable and the
+//     master record pointing at it — the classic "crash mid-checkpoint"
+//     case, which recovery must survive by using the previous checkpoint.
+//
+// Commit backpressure (DirtyPageTarget) is also set, so inline Clean calls
+// on the commit path contribute points inside commit brackets. The
+// background cleaner goroutine stays off: a ticker-driven worker would make
+// event numbering racy, while the synchronous drive hits the same code path
+// (Session.Clean) deterministically.
+//
+// Failures print ReplayFuzzyCrashPoint recipes; the classic sweep's print
+// ReplayCrashPoint. The two variants never share point numbers.
+
+import "fmt"
+
+// FuzzySweep enumerates every crash point of the fuzzy-checkpoint variant
+// for the system and replays up to budget of them (≤ 0 = all), exactly as
+// Sweep does for the sharp variant.
+func FuzzySweep(sys SweepSystem, seed int64, budget int) (*SweepReport, error) {
+	return sweepVariantRun(sys, seed, budget, fuzzySweepVariant())
+}
+
+// ReplayFuzzyCrashPoint re-runs one fuzzy-variant crash point — the
+// reproduction entry point printed by FuzzySweep failures. system must be a
+// SweepSystems name.
+func ReplayFuzzyCrashPoint(system string, seed int64, point int64) (*SweepFailure, error) {
+	return replayNamed(system, seed, point, fuzzySweepVariant())
+}
+
+// CountFuzzyCrashPoints runs the fuzzy counting pass alone, checking that
+// the workload completes and returning the crash-point count (for coverage
+// floors and determinism checks).
+func CountFuzzyCrashPoints(sys SweepSystem, seed int64) (*sweepRun, int64, error) {
+	run, n, err := countCrashPoints(sys, seed, fuzzySweepVariant())
+	if err != nil {
+		return nil, 0, fmt.Errorf("fuzzy %w", err)
+	}
+	return run, n, nil
+}

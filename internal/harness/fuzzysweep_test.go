@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestFuzzySweepSmoke runs the fuzzy-checkpoint + cleaner sweep for every
+// scheme: enumerate the variant's crash points, replay a budget-limited
+// sample (which includes points inside cleaner page writes and inside the
+// checkpoint-record → superblock window), and fail with a reproduction
+// recipe for each violated recovery invariant.
+func TestFuzzySweepSmoke(t *testing.T) {
+	budget := replayBudget(t)
+	for _, sys := range SweepSystems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := FuzzySweep(sys, *sweepSeed, budget)
+			if err != nil {
+				t.Fatalf("fuzzy sweep: %v", err)
+			}
+			if rep.Points < 200 {
+				t.Errorf("only %d crash points enumerated, want >= 200 (workload too small)", rep.Points)
+			}
+			t.Logf("%s: %d crash points, replayed %d, %d failures",
+				sys.Name, rep.Points, len(rep.Replayed), len(rep.Failures))
+			for _, f := range rep.Failures {
+				t.Errorf("%v", f)
+			}
+		})
+	}
+}
+
+// TestFuzzySweepExercisesCleanerAndCkpt checks the variant actually reaches
+// the machinery it exists to crash: the counting pass must show cleaner page
+// writes (except under WPL, where Clean is by design a no-op) and completed
+// fuzzy checkpoints, and the fuzzy variant must enumerate its own point
+// sequence (its failures print ReplayFuzzyCrashPoint, so the counts are
+// allowed to differ from the sharp sweep's).
+func TestFuzzySweepExercisesCleanerAndCkpt(t *testing.T) {
+	for _, sys := range SweepSystems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			t.Parallel()
+			run, n, err := CountFuzzyCrashPoints(sys, *sweepSeed)
+			if err != nil {
+				t.Fatalf("counting pass: %v", err)
+			}
+			st := run.srv.Stats()
+			if sys.Mode != server.ModeWPL && st.CleanerPages == 0 {
+				t.Errorf("cleaner wrote no pages: the sweep cannot hit crash points inside cleaner writes")
+			}
+			if sys.Mode == server.ModeWPL && st.CleanerPages != 0 {
+				t.Errorf("cleaner wrote %d pages under WPL; Clean must be a no-op there", st.CleanerPages)
+			}
+			if st.Checkpoints == 0 {
+				t.Errorf("no fuzzy checkpoint completed: the sweep cannot hit mid-checkpoint points")
+			}
+			if st.CkptStallNs != 0 {
+				t.Errorf("fuzzy checkpoints stalled commits for %dns, want 0 (that is the point of fuzzy)", st.CkptStallNs)
+			}
+
+			// Determinism: the fuzzy variant must honor the same
+			// reproducibility contract as the sharp sweep.
+			run2, n2, err := CountFuzzyCrashPoints(sys, *sweepSeed)
+			if err != nil {
+				t.Fatalf("counting pass B: %v", err)
+			}
+			if n != n2 {
+				t.Fatalf("fuzzy crash-point count not deterministic: %d then %d", n, n2)
+			}
+			if len(run.txns) != len(run2.txns) {
+				t.Fatalf("journal length differs: %d vs %d", len(run.txns), len(run2.txns))
+			}
+			for i := range run.txns {
+				a, b := run.txns[i], run2.txns[i]
+				if a.pre != b.pre || a.post != b.post || a.val != b.val || a.parts != b.parts {
+					t.Fatalf("journal entry %d differs: %+v vs %+v", i, a, b)
+				}
+			}
+			t.Logf("%s: %d fuzzy crash points, cleaner wrote %d pages over %d passes, %d checkpoints",
+				sys.Name, n, st.CleanerPages, st.CleanerPasses, st.Checkpoints)
+		})
+	}
+}
+
+// TestFuzzyFailureReproString pins that fuzzy-variant failures print the
+// fuzzy replay entry point (a sharp recipe would replay a different point
+// sequence and silently "not reproduce").
+func TestFuzzyFailureReproString(t *testing.T) {
+	f := &SweepFailure{System: "PD-ESM", Seed: 1, Point: 42, Detail: "x", Variant: "fuzzy"}
+	want := `(reproduce: harness.ReplayFuzzyCrashPoint("PD-ESM", 1, 42))`
+	if got := f.Error(); !strings.Contains(got, want) {
+		t.Errorf("fuzzy failure repro = %q, want it to contain %q", got, want)
+	}
+	f.Variant = ""
+	want = `(reproduce: harness.ReplayCrashPoint("PD-ESM", 1, 42))`
+	if got := f.Error(); !strings.Contains(got, want) {
+		t.Errorf("sharp failure repro = %q, want it to contain %q", got, want)
+	}
+}

@@ -75,6 +75,45 @@ const (
 	sweepCkptEvery   = 3
 )
 
+// sweepVariant tunes the server's checkpoint/cleaner configuration for one
+// sweep family. The zero value is the classic sharp-checkpoint sweep; the
+// fuzzy variant (fuzzySweepVariant) turns on fuzzy checkpoints, drives the
+// page cleaner synchronously between stamp transactions (the background
+// goroutine stays off — CleanerEvery is never set — so every stable-storage
+// event keeps its deterministic number), and sets a dirty-page target so
+// commit backpressure paths run too.
+type sweepVariant struct {
+	name        string // "" = sharp; appears in failure repro recipes
+	fuzzy       bool   // server.Config.FuzzyCheckpoints
+	cleanEvery  int    // run a synchronous cleaner batch after every N stamps (0 = never)
+	cleanBatch  int    // pages per synchronous cleaner batch
+	dirtyTarget int    // server.Config.DirtyPageTarget (backpressure at 2x)
+}
+
+// fuzzySweepVariant is the fuzzy-checkpoint + page-cleaner sweep: cleaner
+// data writes and the checkpoint-record→superblock window become numbered
+// crash points alongside the classic ones.
+func fuzzySweepVariant() sweepVariant {
+	return sweepVariant{name: "fuzzy", fuzzy: true, cleanEvery: 2, cleanBatch: 8, dirtyTarget: 16}
+}
+
+// sweepServerConfig builds the server configuration shared by the workload
+// and both recovery servers of a replay; all three must agree or the replay
+// would recover under a different regime than the crash was taken under.
+func sweepServerConfig(mode server.Mode, store disk.Store, log *wal.Log, v sweepVariant) server.Config {
+	return server.Config{
+		Mode:             mode,
+		Store:            store,
+		Log:              log,
+		LogCapacity:      sweepLogCapacity,
+		PoolPages:        sweepServerPool,
+		CheckpointEvery:  sweepCkptEvery,
+		FuzzyCheckpoints: v.fuzzy,
+		DirtyPageTarget:  v.dirtyTarget,
+		CleanerBatch:     v.cleanBatch,
+	}
+}
+
 // sweepDBConfig is the miniature OO7 database used by the sweep.
 func sweepDBConfig() oo7.Config {
 	return oo7.Config{
@@ -121,7 +160,7 @@ type sweepRun struct {
 // runWorkload executes the sweep workload with the fuse limited to `limit`
 // stable-storage events (< 0 = count only). Workload errors after the fuse
 // blows are recorded and benign; before it they are real failures.
-func runWorkload(sys SweepSystem, seed int64, limit int64) (*sweepRun, error) {
+func runWorkload(sys SweepSystem, seed int64, limit int64, v sweepVariant) (*sweepRun, error) {
 	fuse := faultinject.NewFuse(limit)
 	store := faultinject.NewSweepStore(disk.NewMemStore(), fuse)
 	log := wal.New(sweepLogCapacity)
@@ -136,19 +175,15 @@ func runWorkload(sys SweepSystem, seed int64, limit int64) (*sweepRun, error) {
 		_, ok := fuse.Event()
 		return ok
 	})
-	srv := server.New(server.Config{
-		Mode:            sys.Mode,
-		Store:           store,
-		Log:             log,
-		LogCapacity:     sweepLogCapacity,
-		PoolPages:       sweepServerPool,
-		CheckpointEvery: sweepCkptEvery,
-	})
+	srv := server.New(sweepServerConfig(sys.Mode, store, log, v))
 	cli := client.New(client.Config{
 		Scheme:         sys.Scheme,
 		PoolPages:      sweepClientPool,
 		ShipDirtyPages: sys.Mode != server.ModeREDO,
 	}, wire.NewDirect(srv, nil, nil))
+	// Server-side maintenance session; the fuzzy variant drives the page
+	// cleaner through it between stamp transactions.
+	srvSn := srv.NewSession(nil, nil)
 	run := &sweepRun{sys: sys, fuse: fuse, store: store, log: log, srv: srv}
 
 	fail := func(stage string, err error) (*sweepRun, error) {
@@ -205,6 +240,15 @@ func runWorkload(sys SweepSystem, seed int64, limit int64) (*sweepRun, error) {
 			return fail("stamp commit", err)
 		}
 		run.txns = append(run.txns, st)
+		// Fuzzy variant: drive the page cleaner synchronously between stamp
+		// transactions. Its data writes and WAL forces feed the same fuse, so
+		// crash points land inside cleaner page writes; running it outside
+		// the pre/post bracket keeps the commit-prefix invariant intact.
+		if v.cleanEvery > 0 && (i+1)%v.cleanEvery == 0 {
+			if _, err := srvSn.Clean(v.cleanBatch); err != nil {
+				return fail("clean", err)
+			}
+		}
 	}
 	return run, nil
 }
@@ -228,17 +272,23 @@ func (r *sweepRun) modelAfter(k int) []uint32 {
 // SweepFailure is one violated recovery invariant, with everything needed
 // to reproduce it.
 type SweepFailure struct {
-	System string
-	Seed   int64
-	Point  int64
-	Detail string
+	System  string
+	Seed    int64
+	Point   int64
+	Detail  string
+	Variant string // "" = sharp sweep, "fuzzy" = fuzzy-checkpoint sweep
 }
 
-// Error formats the failure with its reproduction recipe.
+// Error formats the failure with its reproduction recipe, naming the replay
+// entry point for the variant the failure came from.
 func (f *SweepFailure) Error() string {
+	fn := "harness.ReplayCrashPoint"
+	if f.Variant == "fuzzy" {
+		fn = "harness.ReplayFuzzyCrashPoint"
+	}
 	return fmt.Sprintf("crash-point failure: system=%s seed=%d point=%d: %s "+
-		"(reproduce: harness.ReplayCrashPoint(%q, %d, %d))",
-		f.System, f.Seed, f.Point, f.Detail, f.System, f.Seed, f.Point)
+		"(reproduce: %s(%q, %d, %d))",
+		f.System, f.Seed, f.Point, f.Detail, fn, f.System, f.Seed, f.Point)
 }
 
 // SweepReport summarizes a sweep over one system.
@@ -253,7 +303,11 @@ type SweepReport struct {
 // CountCrashPoints runs the counting pass alone and returns the number of
 // crash points plus the run (for determinism checks).
 func CountCrashPoints(sys SweepSystem, seed int64) (*sweepRun, int64, error) {
-	run, err := runWorkload(sys, seed, -1)
+	return countCrashPoints(sys, seed, sweepVariant{})
+}
+
+func countCrashPoints(sys SweepSystem, seed int64, v sweepVariant) (*sweepRun, int64, error) {
+	run, err := runWorkload(sys, seed, -1, v)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -268,14 +322,18 @@ func CountCrashPoints(sys SweepSystem, seed int64) (*sweepRun, int64, error) {
 // the first and last points. Failures accumulate; they do not stop the
 // sweep.
 func Sweep(sys SweepSystem, seed int64, budget int) (*SweepReport, error) {
-	_, n, err := CountCrashPoints(sys, seed)
+	return sweepVariantRun(sys, seed, budget, sweepVariant{})
+}
+
+func sweepVariantRun(sys SweepSystem, seed int64, budget int, v sweepVariant) (*SweepReport, error) {
+	_, n, err := countCrashPoints(sys, seed, v)
 	if err != nil {
 		return nil, err
 	}
 	rep := &SweepReport{System: sys.Name, Seed: seed, Points: n}
 	for _, p := range samplePoints(n, budget) {
 		rep.Replayed = append(rep.Replayed, p)
-		f, err := replayPoint(sys, seed, p)
+		f, err := replayPoint(sys, seed, p, v)
 		if err != nil {
 			return nil, err
 		}
@@ -289,9 +347,13 @@ func Sweep(sys SweepSystem, seed int64, budget int) (*SweepReport, error) {
 // ReplayCrashPoint re-runs a single crash point — the reproduction entry
 // point printed with every failure. system must be a SweepSystems name.
 func ReplayCrashPoint(system string, seed int64, point int64) (*SweepFailure, error) {
+	return replayNamed(system, seed, point, sweepVariant{})
+}
+
+func replayNamed(system string, seed int64, point int64, v sweepVariant) (*SweepFailure, error) {
 	for _, sys := range SweepSystems() {
 		if sys.Name == system {
-			return replayPoint(sys, seed, point)
+			return replayPoint(sys, seed, point, v)
 		}
 	}
 	return nil, fmt.Errorf("harness: unknown sweep system %q", system)
@@ -325,14 +387,14 @@ func samplePoints(n int64, budget int) []int64 {
 // replayPoint runs the workload to crash point P, crashes, recovers on a
 // fresh server over the surviving store and log, and checks the recovery
 // invariants. A nil failure means the point passed.
-func replayPoint(sys SweepSystem, seed int64, point int64) (*SweepFailure, error) {
-	run, err := runWorkload(sys, seed, point)
+func replayPoint(sys SweepSystem, seed int64, point int64, v sweepVariant) (*SweepFailure, error) {
+	run, err := runWorkload(sys, seed, point, v)
 	if err != nil {
 		return nil, err
 	}
 	bad := func(format string, args ...interface{}) *SweepFailure {
 		return &SweepFailure{System: sys.Name, Seed: seed, Point: point,
-			Detail: fmt.Sprintf(format, args...)}
+			Detail: fmt.Sprintf(format, args...), Variant: v.name}
 	}
 
 	// Crash: volatile state is lost, stable storage thaws for recovery.
@@ -343,14 +405,7 @@ func replayPoint(sys SweepSystem, seed int64, point int64) (*SweepFailure, error
 	run.store.CrashDropPending()
 
 	// Recover on a fresh server adopting the surviving store and log.
-	srv2 := server.New(server.Config{
-		Mode:            sys.Mode,
-		Store:           run.store,
-		Log:             run.log,
-		LogCapacity:     sweepLogCapacity,
-		PoolPages:       sweepServerPool,
-		CheckpointEvery: sweepCkptEvery,
-	})
+	srv2 := server.New(sweepServerConfig(sys.Mode, run.store, run.log, v))
 	sn2 := srv2.NewSession(nil, nil)
 	if err := sn2.Restart(); err != nil {
 		return bad("restart failed: %v", err), nil
@@ -370,14 +425,7 @@ func replayPoint(sys SweepSystem, seed int64, point int64) (*SweepFailure, error
 		return nil, err
 	}
 	srv2.Crash()
-	srv3 := server.New(server.Config{
-		Mode:            sys.Mode,
-		Store:           run.store,
-		Log:             run.log,
-		LogCapacity:     sweepLogCapacity,
-		PoolPages:       sweepServerPool,
-		CheckpointEvery: sweepCkptEvery,
-	})
+	srv3 := server.New(sweepServerConfig(sys.Mode, run.store, run.log, v))
 	sn3 := srv3.NewSession(nil, nil)
 	if err := sn3.Restart(); err != nil {
 		return bad("second restart failed: %v", err), nil

@@ -52,24 +52,48 @@ type ckptWPL struct {
 	committed bool
 }
 
+// ckptDPT is a dirty-page-table entry in a checkpoint record: the page and
+// the LSN restart redo must scan from for it. Fuzzy checkpoints log the DPT
+// instead of flushing it; sharp checkpoints log whatever entries their flush
+// could not retire (pages whose logged records outrun the shipped image).
+type ckptDPT struct {
+	pid page.ID
+	rec uint64
+}
+
 type ckptPayload struct {
 	nextPage page.ID
 	nextTID  logrec.TID
+	// beginLSN is the log end captured before the ATT/DPT/WPL snapshot was
+	// taken. Restart analysis scans from here: a record appended between the
+	// snapshot and the checkpoint record's own append is re-analyzed rather
+	// than lost. Zero in legacy (pre-DPT) payloads, where analysis falls back
+	// to scanning from just past the checkpoint record.
+	beginLSN uint64
 	txns     []ckptTxn
 	wpl      []ckptWPL
+	dpt      []ckptDPT
 }
 
+// ckptV2Magic marks the extended checkpoint layout (DPT entries + analysis
+// begin LSN). The legacy layout's first word is nextPage, a 32-bit page id,
+// so a first word with high bits set is unambiguous.
+const ckptV2Magic = uint64(0x5153434B50543032) // "QSCKPT02"
+
 func (c *ckptPayload) encode() []byte {
-	buf := make([]byte, 0, 32+24*len(c.txns)+24*len(c.wpl))
+	buf := make([]byte, 0, 56+24*len(c.txns)+24*len(c.wpl)+16*len(c.dpt))
 	var tmp [8]byte
 	put64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(tmp[:], v)
 		buf = append(buf, tmp[:]...)
 	}
+	put64(ckptV2Magic)
 	put64(uint64(c.nextPage))
 	put64(uint64(c.nextTID))
+	put64(c.beginLSN)
 	put64(uint64(len(c.txns)))
 	put64(uint64(len(c.wpl)))
+	put64(uint64(len(c.dpt)))
 	for _, t := range c.txns {
 		put64(uint64(t.tid))
 		put64(t.lastLSN)
@@ -84,6 +108,10 @@ func (c *ckptPayload) encode() []byte {
 		}
 		put64(uint64(w.tid)<<1 | committed)
 	}
+	for _, d := range c.dpt {
+		put64(uint64(d.pid))
+		put64(d.rec)
+	}
 	return buf
 }
 
@@ -92,12 +120,56 @@ func decodeCkpt(b []byte) (*ckptPayload, error) {
 		return nil, fmt.Errorf("server: checkpoint payload too short (%d bytes)", len(b))
 	}
 	get := func(i int) uint64 { return binary.LittleEndian.Uint64(b[8*i:]) }
+	if get(0) != ckptV2Magic {
+		return decodeCkptLegacy(b)
+	}
+	c := &ckptPayload{
+		nextPage: page.ID(get(1)),
+		nextTID:  logrec.TID(get(2)),
+		beginLSN: get(3),
+	}
+	nt, nw, nd := int(get(4)), int(get(5)), int(get(6))
+	if nt < 0 || nw < 0 || nd < 0 || len(b) != 56+24*nt+24*nw+16*nd {
+		return nil, fmt.Errorf("server: checkpoint payload size mismatch")
+	}
+	idx := 7
+	for i := 0; i < nt; i++ {
+		c.txns = append(c.txns, ckptTxn{
+			tid:      logrec.TID(get(idx)),
+			lastLSN:  get(idx + 1),
+			firstLSN: get(idx + 2),
+		})
+		idx += 3
+	}
+	for i := 0; i < nw; i++ {
+		pid := page.ID(get(idx))
+		lsn := get(idx + 1)
+		packed := get(idx + 2)
+		c.wpl = append(c.wpl, ckptWPL{
+			pid:       pid,
+			lsn:       lsn,
+			tid:       logrec.TID(packed >> 1),
+			committed: packed&1 == 1,
+		})
+		idx += 3
+	}
+	for i := 0; i < nd; i++ {
+		c.dpt = append(c.dpt, ckptDPT{pid: page.ID(get(idx)), rec: get(idx + 1)})
+		idx += 2
+	}
+	return c, nil
+}
+
+// decodeCkptLegacy reads the pre-DPT layout (no magic, no beginLSN): archived
+// logs written before fuzzy checkpoints still replay.
+func decodeCkptLegacy(b []byte) (*ckptPayload, error) {
+	get := func(i int) uint64 { return binary.LittleEndian.Uint64(b[8*i:]) }
 	c := &ckptPayload{
 		nextPage: page.ID(get(0)),
 		nextTID:  logrec.TID(get(1)),
 	}
 	nt, nw := int(get(2)), int(get(3))
-	if len(b) != 32+24*nt+24*nw {
+	if nt < 0 || nw < 0 || len(b) != 32+24*nt+24*nw {
 		return nil, fmt.Errorf("server: checkpoint payload size mismatch")
 	}
 	idx := 4
@@ -127,26 +199,62 @@ func decodeCkpt(b []byte) (*ckptPayload, error) {
 // --- checkpoint ------------------------------------------------------------
 
 // Checkpoint writes a checkpoint record, updates the master record in the
-// superblock, and reclaims log space. It quiesces the server for its
-// duration (a sharp checkpoint).
+// superblock, and reclaims log space. By default it is sharp — the server
+// quiesces and every dirty page is flushed for its duration — which is the
+// stop-the-world stall the fuzzy variant (Config.FuzzyCheckpoints) removes:
+// a fuzzy checkpoint logs the ATT and the DPT (per-page recLSN) under the
+// read side of the gate, flushing nothing; the page cleaner retires dirty
+// pages in the background and restart redo begins at min(recLSN).
 func (sn *Session) Checkpoint() error {
 	s := sn.s
+	if s.restarting.Load() {
+		// Restart owns the gate and the log; a checkpoint racing it would
+		// deadlock or observe half-recovered tables. Restart takes its own
+		// final checkpoint, so there is nothing for this caller to do.
+		return ErrRestarting
+	}
+	if s.cfg.FuzzyCheckpoints {
+		return s.checkpointFuzzy(sn)
+	}
 	s.gate.Lock()
 	defer s.gate.Unlock()
-	return s.checkpointQuiesced(sn)
+	//qslint:allow determinism: wall-clock stall accounting only (CkptStallNs); never logged, never replayed, no control flow depends on it
+	start := time.Now()
+	err := s.checkpointQuiesced(sn)
+	//qslint:allow determinism: wall-clock stall accounting only (CkptStallNs); never logged, never replayed, no control flow depends on it
+	atomic.AddInt64(&s.stats.CkptStallNs, int64(time.Since(start)))
+	return err
 }
 
+// checkpointFuzzy takes an ARIES-style fuzzy checkpoint: sessions keep
+// committing (only the read side of the gate is held, so Crash/Restart still
+// exclude it), no page is flushed, and the checkpoint record carries the DPT
+// so restart knows where redo must begin. ckptMu serializes checkpointers;
+// a checkpoint already in flight makes this one redundant (it would log a
+// near-identical snapshot), so it is skipped rather than queued — checkpoints
+// are maintenance and callers tolerate "not now".
+func (s *Server) checkpointFuzzy(sn *Session) error {
+	if !s.ckptMu.TryLock() {
+		return nil
+	}
+	defer s.ckptMu.Unlock()
+	defer s.enter()()
+	return s.checkpointCore(sn)
+}
+
+// checkpointQuiesced is the sharp checkpoint body (and Restart's final
+// checkpoint). Caller holds gate.W. Under Config.FuzzyCheckpoints the flush
+// loop is skipped — the quiesced caller still gets a valid fuzzy-style
+// checkpoint record with the DPT logged instead of flushed.
 func (s *Server) checkpointQuiesced(sn *Session) error {
-	s.allocMu.Lock()
-	c := ckptPayload{nextPage: s.nextPage, nextTID: s.nextTID}
-	s.allocMu.Unlock()
-	if s.cfg.Mode != ModeWPL {
+	if s.cfg.Mode != ModeWPL && !s.cfg.FuzzyCheckpoints {
 		// Sharp checkpoint: force the log once, then flush every dirty page
 		// (in ascending page order — the sweep's event stream depends on it).
 		sn.meter().LogWrite(s.log.Force())
 		for _, pid := range s.pool.DirtyPages() {
 			sh := s.pool.Lock(pid)
 			f := sh.Peek(pid)
+			lsn := page.Wrap(f.Bytes()).LSN()
 			if err := s.store.WritePage(pid, f.Bytes()); err != nil {
 				sh.Unlock()
 				return err
@@ -155,16 +263,38 @@ func (s *Server) checkpointQuiesced(sn *Session) error {
 			atomic.AddInt64(&s.stats.DataWrites, 1)
 			sh.MarkClean(pid)
 			sh.Unlock()
-			s.dptMu.Lock()
-			delete(s.dpt, pid)
-			s.dptMu.Unlock()
+			s.retireDPT(pid, lsn)
 		}
 	}
+	return s.checkpointCore(sn)
+}
+
+// checkpointCore snapshots the tables, appends the checkpoint record, writes
+// the master record, and reclaims log space. Caller holds gate.W (sharp,
+// restart) or gate.R plus ckptMu (fuzzy).
+//
+// The analysis begin LSN and all three table snapshots are captured inside
+// ONE attMu critical section. Every append that updates a recovery table
+// also runs inside an attMu section (see the package comment), so a record
+// below beginLSN has its table updates in the snapshot, and a record the
+// snapshot missed is at or above beginLSN, where the restart scan re-analyzes
+// it. DPT deletions are the one exception (the cleaner retires entries under
+// dptMu alone), and they only ever remove pages whose stored image has
+// caught up — losing one from the snapshot loses no redo work.
+func (s *Server) checkpointCore(sn *Session) error {
+	s.allocMu.Lock()
+	c := ckptPayload{nextPage: s.nextPage, nextTID: s.nextTID}
+	s.allocMu.Unlock()
 	s.attMu.Lock()
+	c.beginLSN = s.log.End()
 	for _, t := range s.att {
 		c.txns = append(c.txns, ckptTxn{tid: t.tid, lastLSN: t.lastLSN, firstLSN: t.firstLSN})
 	}
-	s.attMu.Unlock()
+	s.dptMu.Lock()
+	for pid, e := range s.dpt {
+		c.dpt = append(c.dpt, ckptDPT{pid: pid, rec: e.rec})
+	}
+	s.dptMu.Unlock()
 	s.wplMu.Lock()
 	for _, head := range s.wpl {
 		for e := head; e != nil; e = e.prev {
@@ -172,6 +302,7 @@ func (s *Server) checkpointQuiesced(sn *Session) error {
 		}
 	}
 	s.wplMu.Unlock()
+	s.attMu.Unlock()
 	// Map iteration is randomized; sort so the checkpoint record's bytes —
 	// and with them every later LSN — are identical run to run, which the
 	// crash-point sweep's reproducibility depends on.
@@ -182,25 +313,32 @@ func (s *Server) checkpointQuiesced(sn *Session) error {
 		}
 		return c.wpl[i].lsn < c.wpl[j].lsn
 	})
+	sort.Slice(c.dpt, func(i, j int) bool { return c.dpt[i].pid < c.dpt[j].pid })
 	rec := &logrec.Record{Type: logrec.TypeCheckpoint, PrevLSN: logrec.NoLSN, After: c.encode()}
 	ckptLSN, err := s.log.Append(rec)
 	if err != nil {
 		return err
 	}
 	sn.meter().LogWrite(s.log.Force())
-	if err := s.writeSuperblock(sn, superblock{
+	// The master-record write takes the superblock's shard latch: a fuzzy
+	// checkpoint runs under gate.R, where the scrubber may concurrently be
+	// repairing page 0 under the same latch.
+	sh := s.pool.Lock(superblockPage)
+	err = s.writeSuperblock(sn, superblock{
 		checkpointLSN: ckptLSN,
 		nextPage:      c.nextPage,
 		nextTID:       c.nextTID,
 		hasCheckpoint: true,
-	}); err != nil {
+	})
+	sh.Unlock()
+	if err != nil {
 		return err
 	}
 	atomic.AddInt64(&s.stats.Checkpoints, 1)
-	// Reclaim: the log is needed from the oldest of the checkpoint itself,
-	// any active transaction's first record, and any WPL copy still awaiting
-	// install.
-	head := ckptLSN
+	// Reclaim: the log is needed from the oldest of the analysis scan start,
+	// any active transaction's first record, any WPL copy still awaiting
+	// install, and any dirty page's recLSN (redo starts there).
+	head := minUint64(ckptLSN, c.beginLSN)
 	for _, t := range c.txns {
 		if t.firstLSN != logrec.NoLSN && t.firstLSN < head {
 			head = t.firstLSN
@@ -211,6 +349,19 @@ func (s *Server) checkpointQuiesced(sn *Session) error {
 			head = w.lsn
 		}
 	}
+	var minRec uint64
+	for _, d := range c.dpt {
+		if d.rec < head {
+			head = d.rec
+		}
+		if minRec == 0 || d.rec < minRec {
+			minRec = d.rec
+		}
+	}
+	// Publish the recLSN floor: even a truncation computed from stale state
+	// (an archiver-driven head, a racing checkpoint) cannot reclaim records
+	// redo needs for a still-dirty page.
+	s.log.SetTruncateFloor(minRec)
 	if s.cfg.PreTruncate != nil {
 		if err := s.cfg.PreTruncate(head); err != nil {
 			// Archiving failed: leave the log unreclaimed (the archive gate
@@ -220,6 +371,13 @@ func (s *Server) checkpointQuiesced(sn *Session) error {
 		}
 	}
 	return s.log.Truncate(head)
+}
+
+func minUint64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // --- crash and restart -----------------------------------------------------
@@ -238,7 +396,7 @@ func (s *Server) Crash() {
 	s.att = make(map[logrec.TID]*txn)
 	s.attMu.Unlock()
 	s.dptMu.Lock()
-	s.dpt = make(map[page.ID]uint64)
+	s.dpt = make(map[page.ID]dptEntry)
 	s.dptMu.Unlock()
 	s.wplMu.Lock()
 	s.wpl = make(map[page.ID]*wplEntry)
@@ -254,8 +412,8 @@ func (sn *Session) Restart() error {
 	s := sn.s
 	s.gate.Lock()
 	defer s.gate.Unlock()
-	s.restarting = true
-	defer func() { s.restarting = false }()
+	s.restarting.Store(true)
+	defer s.restarting.Store(false)
 	atomic.AddInt64(&s.stats.Restarts, 1)
 	sb, err := s.readSuperblock()
 	if err != nil {
@@ -285,7 +443,11 @@ func (sn *Session) Restart() error {
 			// restart with a fresh (in-memory) log rather than a crash. The
 			// superblock was written after a sharp checkpoint flushed every
 			// page, so the volume is consistent as of that checkpoint; only
-			// the allocation counters need restoring.
+			// the allocation counters need restoring. (Under fuzzy
+			// checkpoints the superblock does NOT imply a flushed volume —
+			// a fuzzy deployment on a persistent store must reach this point
+			// via orderly shutdown, whose FlushAll provides the same
+			// guarantee; see DESIGN.md §13.)
 			return s.checkpointQuiesced(sn)
 		case err != nil:
 			return fmt.Errorf("server: reading checkpoint: %w", err)
@@ -295,6 +457,11 @@ func (sn *Session) Restart() error {
 			return err
 		}
 		start = sb.checkpointLSN
+		if ckpt.beginLSN > 0 && ckpt.beginLSN < start {
+			// Fuzzy checkpoint: analysis must rescan the window between the
+			// snapshot capture point and the record's own append.
+			start = ckpt.beginLSN
+		}
 	}
 	// Charge the restart log scan.
 	sn.meter().LogRead(wal.PagesInRange(start, s.log.StableEnd()))
@@ -348,10 +515,22 @@ func (s *Server) ariesRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint
 			}
 		}
 	}
-	dpt := make(map[page.ID]uint64)
-	scanFrom := start
+	// The DPT is seeded from the checkpoint's logged entries (fuzzy
+	// checkpoints flush nothing, so a page may have been dirty since well
+	// before the checkpoint — its recLSN is the only record of that), then
+	// extended by the scan with insert-if-absent, which keeps the seeded,
+	// lower recLSNs.
+	dpt := make(map[page.ID]dptEntry)
 	if ckpt != nil {
-		// Skip the checkpoint record itself.
+		for _, d := range ckpt.dpt {
+			dpt[d.pid] = dptEntry{rec: d.rec, newest: d.rec}
+		}
+	}
+	scanFrom := start
+	if ckpt != nil && ckpt.beginLSN == 0 {
+		// Legacy (sharp, pre-DPT) checkpoint: skip the record itself. A fuzzy
+		// checkpoint instead scans from beginLSN (= start here); the scan
+		// passes over the checkpoint record, which the switch below ignores.
 		rec, err := s.log.ReadAt(start)
 		if err != nil {
 			return err
@@ -371,9 +550,14 @@ func (s *Server) ariesRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint
 			if t.firstLSN == logrec.NoLSN {
 				t.firstLSN = r.LSN
 			}
-			if _, ok := dpt[r.Page]; !ok {
-				dpt[r.Page] = r.LSN
+			e, ok := dpt[r.Page]
+			if !ok {
+				e = dptEntry{rec: r.LSN}
 			}
+			if r.LSN > e.newest {
+				e.newest = r.LSN
+			}
+			dpt[r.Page] = e
 		case logrec.TypeCommit, logrec.TypeEnd, logrec.TypeAbort:
 			if r.Type != logrec.TypeAbort {
 				delete(att, r.TID)
@@ -385,9 +569,9 @@ func (s *Server) ariesRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint
 	if err != nil {
 		return err
 	}
-	for _, rec := range dpt {
-		if redoFrom == logrec.NoLSN || rec < redoFrom {
-			redoFrom = rec
+	for _, e := range dpt {
+		if redoFrom == logrec.NoLSN || e.rec < redoFrom {
+			redoFrom = e.rec
 		}
 	}
 	// Redo: repeat history for pages in the DPT, conditional on page LSN,
@@ -407,6 +591,28 @@ func (s *Server) ariesRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint
 	}
 	sort.Slice(losers, func(i, j int) bool { return losers[i].tid < losers[j].tid })
 	for _, t := range losers {
+		if t.lastLSN != logrec.NoLSN {
+			r, err := s.log.ReadAt(t.lastLSN)
+			if err != nil {
+				return fmt.Errorf("server: restart loser check %v at %d: %w", t.tid, t.lastLSN, err)
+			}
+			switch r.Type {
+			case logrec.TypeCommit:
+				// Fuzzy window: the transaction committed — durably, since the
+				// checkpoint record's force covered the earlier commit record —
+				// but its ATT delete raced the snapshot. Not a loser: write the
+				// End its deleter never logged and move on.
+				e := logrec.NewEnd(t.tid)
+				e.PrevLSN = t.lastLSN
+				if _, err := s.log.Append(e); err != nil {
+					return err
+				}
+				continue
+			case logrec.TypeEnd:
+				// Finished rolling back before the snapshot; nothing to undo.
+				continue
+			}
+		}
 		if err := s.undo(sn, t, logrec.NoLSN); err != nil {
 			return err
 		}
@@ -417,18 +623,45 @@ func (s *Server) ariesRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint
 		}
 	}
 	sn.meter().LogWrite(s.log.Force())
+	// Install the analysis DPT, pruned to frames still dirty after redo and
+	// undo, so the checkpoint that ends restart — and every fuzzy checkpoint
+	// and cleaner pass after it — sees the redone-but-unflushed pages.
+	// (Conditional redo leaves pageLSN >= newest for any page it touched, and
+	// undo's own CLR bookkeeping has already inserted its pages.)
+	dirty := make(map[page.ID]bool)
+	for _, pid := range s.pool.DirtyPages() {
+		dirty[pid] = true
+	}
+	s.dptMu.Lock()
+	for pid, e := range dpt {
+		if !dirty[pid] {
+			continue
+		}
+		if cur, ok := s.dpt[pid]; ok {
+			if e.rec < cur.rec {
+				cur.rec = e.rec
+			}
+			if e.newest > cur.newest {
+				cur.newest = e.newest
+			}
+			s.dpt[pid] = cur
+		} else {
+			s.dpt[pid] = e
+		}
+	}
+	s.dptMu.Unlock()
 	return nil
 }
 
 // redoRelevant reports whether r must be considered by redo given the DPT.
-func redoRelevant(r *logrec.Record, dpt map[page.ID]uint64) bool {
+func redoRelevant(r *logrec.Record, dpt map[page.ID]dptEntry) bool {
 	switch r.Type {
 	case logrec.TypeUpdate, logrec.TypePageImage, logrec.TypeCLR:
 	default:
 		return false
 	}
-	recLSN, ok := dpt[r.Page]
-	return ok && r.LSN >= recLSN
+	e, ok := dpt[r.Page]
+	return ok && r.LSN >= e.rec
 }
 
 // redoApplyOne redoes one relevant record if the page's LSN shows it is
@@ -456,7 +689,7 @@ func (s *Server) redoApplyOne(sn *Session, r *logrec.Record) (int64, error) {
 // once and fans records out by page ID — a page's records all go to the same
 // worker, preserving per-page order — then bulk-charges the session for the
 // aggregate work. Caller holds gate.W.
-func (s *Server) redoQuiesced(sn *Session, dpt map[page.ID]uint64, redoFrom uint64) error {
+func (s *Server) redoQuiesced(sn *Session, dpt map[page.ID]dptEntry, redoFrom uint64) error {
 	nw := s.cfg.RedoWorkers
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
@@ -550,7 +783,12 @@ func (s *Server) wplRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint64
 	ctl := make(map[logrec.TID]bool)
 	table := make(map[page.ID]*wplEntry)
 	scanFrom := start
-	if ckpt != nil {
+	if ckpt != nil && ckpt.beginLSN == 0 {
+		// Legacy checkpoint: the backward scan stops just past the record. A
+		// fuzzy checkpoint's scan instead runs down to beginLSN (= start), so
+		// copies logged between the WPL-table snapshot and the record's
+		// append are seen by the pass rather than lost; the checkpoint record
+		// itself is ignored by the switch below.
 		rec, err := s.log.ReadAt(start)
 		if err != nil {
 			return err
@@ -625,6 +863,7 @@ func (sn *Session) FlushAll() error {
 	for _, pid := range s.pool.DirtyPages() {
 		sh := s.pool.Lock(pid)
 		f := sh.Peek(pid)
+		lsn := page.Wrap(f.Bytes()).LSN()
 		if err := s.store.WritePage(pid, f.Bytes()); err != nil {
 			sh.Unlock()
 			return err
@@ -633,9 +872,7 @@ func (sn *Session) FlushAll() error {
 		atomic.AddInt64(&s.stats.DataWrites, 1)
 		sh.MarkClean(pid)
 		sh.Unlock()
-		s.dptMu.Lock()
-		delete(s.dpt, pid)
-		s.dptMu.Unlock()
+		s.retireDPT(pid, lsn)
 	}
 	return nil
 }

@@ -38,10 +38,21 @@
 //   - Stats fields are updated with atomics.
 //
 // Latch order (outer to inner): gate.R → big (Serialize) → one shard latch
-// → {attMu | dptMu | wplMu | allocMu} → log/store internal locks. Never
-// acquire a shard latch while holding one of the leaf mutexes, and never
-// hold two shard latches (checkpoint-style paths that need all shards run
-// under gate.W, where the pool helpers may latch shards in index order).
+// → attMu → {dptMu | wplMu} → log/store internal locks; allocMu is a leaf
+// taken on its own. Never acquire a shard latch while holding one of the
+// leaf mutexes, and never hold two shard latches (checkpoint-style paths
+// that need all shards run under gate.W, where the pool helpers may latch
+// shards in index order).
+//
+// attMu is more than the ATT map lock: every log append that updates a
+// recovery table (a session record's lastLSN chain, a DPT insert, a WPL
+// entry or commit marking) happens inside one attMu critical section, and a
+// fuzzy checkpoint captures its analysis begin LSN and snapshots all three
+// tables inside one attMu section too. That pairing is what makes fuzzy
+// checkpoints sound under gate.R: any record with LSN below the captured
+// begin LSN has its table updates visible to the snapshot, and any record
+// the snapshot missed has LSN at or above it and is re-analyzed by the
+// restart scan (DESIGN.md §13).
 package server
 
 import (
@@ -93,6 +104,10 @@ var (
 	ErrNoTxn         = errors.New("server: unknown or finished transaction")
 	ErrNotLocked     = errors.New("server: page not locked by transaction")
 	ErrModeViolation = errors.New("server: operation not valid in this recovery mode")
+	// ErrRestarting is returned by maintenance entry points (Checkpoint,
+	// Clean) invoked while Restart holds the server: restart takes its own
+	// final checkpoint, so the caller's work is already covered.
+	ErrRestarting = errors.New("server: restart in progress")
 )
 
 // Config configures a Server.
@@ -156,6 +171,29 @@ type Config struct {
 	// ScrubPages is the per-tick page budget of the background scrubber
 	// (DefaultScrubPages if 0).
 	ScrubPages int
+	// FuzzyCheckpoints switches Checkpoint from sharp (quiesce + flush every
+	// dirty page) to ARIES-style fuzzy: the ATT and the DPT (per-page recLSN)
+	// are logged under the read side of the gate, no page is flushed, and
+	// restart redo begins at min(recLSN). Pair with the page cleaner
+	// (CleanerEvery / DirtyPageTarget) so dirty pages still drain and log
+	// truncation keeps pace.
+	FuzzyCheckpoints bool
+	// CleanerEvery, when positive, runs the background page cleaner: every
+	// tick it writes home up to CleanerBatch cold dirty pages in recLSN
+	// order, enforcing the WAL rule per page. Commits never wait on it.
+	CleanerEvery time.Duration
+	// CleanerBatch is the per-pass page budget of the cleaner
+	// (DefaultCleanerBatch if 0).
+	CleanerBatch int
+	// DirtyPageTarget bounds restart redo work: the cleaner drains toward
+	// this many DPT entries, and a committing session past 2x the target
+	// cleans a few pages inline (soft backpressure, high watermark).
+	// 0 disables backpressure.
+	DirtyPageTarget int
+	// CleanerProtect keeps hot pages out of the cleaner: a dirty page
+	// referenced within this many buffer-clock ticks of now is skipped.
+	// 0 cleans regardless of recency.
+	CleanerProtect uint64
 }
 
 // DefaultPoolPages is 36 MB of 8 KB frames, the paper's server memory.
@@ -186,6 +224,10 @@ type Stats struct {
 	ChecksumFailures   int64 // reads that hit a corrupt page (rot, tear, misdirection)
 	PagesRepaired      int64 // corrupt pages rebuilt and written home
 	PagesUnrepairable  int64 // corrupt pages no source could rebuild
+	CleanerPages       int64 // dirty pages written home by the cleaner
+	CleanerPasses      int64 // cleaner passes (ticks + backpressure batches)
+	CleanerHotSkips    int64 // cleaner candidates skipped as recently used
+	CkptStallNs        int64 // cumulative wall time commits were excluded by sharp checkpoints
 }
 
 // StatsX extends Stats with the concurrency counters introduced with group
@@ -201,6 +243,11 @@ type StatsX struct {
 	LockWaits       int64   // lock-manager requests that blocked on a conflict
 	RedoWorkers     int     // workers used by the most recent restart redo
 	RedoApplied     []int64 // records applied per redo worker (utilization)
+	DirtyPages      int64   // current DPT size (pages restart redo would visit)
+	// RedoDistanceBytes is the stable log span a crash right now would
+	// rescan for redo: StableEnd - min(recLSN) over the DPT (0 when clean).
+	// The cleaner's dirty-page target exists to bound this number.
+	RedoDistanceBytes int64
 }
 
 // txn is an active-transaction-table entry. The att map itself is guarded
@@ -220,12 +267,29 @@ type txn struct {
 	wplPages []page.ID
 }
 
+// dptEntry is a dirty page table entry. rec is the recLSN: the oldest log
+// record whose effect may not yet be on the stored page, where restart redo
+// for this page must begin. newest is the newest logged record for the page;
+// a flushed image retires the entry only when its pageLSN has caught up to
+// newest (under ESM a page's records can outrun its shipped image, and an
+// image older than newest leaves redo work outstanding).
+type dptEntry struct {
+	rec    uint64
+	newest uint64
+}
+
 // wplEntry is a WPL-table entry (paper §3.4.2). Guarded by wplMu.
 type wplEntry struct {
 	pid       page.ID
 	lsn       uint64 // location of the page image in the log
 	tid       logrec.TID
 	committed bool
+	// commitEnd is the end LSN of the committing transaction's commit record,
+	// set with committed. An install must not reach the permanent location
+	// before the commit record is stable (the no-steal discipline WPL
+	// recovery depends on); installers force the log when commitEnd is still
+	// beyond the stable end.
+	commitEnd uint64
 	prev      *wplEntry // previously logged copy still needed for recovery
 }
 
@@ -253,8 +317,9 @@ type Server struct {
 	attMu sync.Mutex
 	att   map[logrec.TID]*txn
 
-	dptMu sync.Mutex
-	dpt   map[page.ID]uint64 // dirty page table: pid → recLSN (ESM/REDO)
+	dptMu    sync.Mutex
+	dpt      map[page.ID]dptEntry // dirty page table (ESM/REDO)
+	cleaning map[page.ID]bool     // pages claimed by an in-flight cleanOne
 
 	wplMu  sync.Mutex
 	wpl    map[page.ID]*wplEntry
@@ -275,7 +340,18 @@ type Server struct {
 	scrubCursor page.ID       // next page the paced scrubber will verify
 	scrubStop   chan struct{} // non-nil iff ScrubEvery > 0
 	scrubWG     sync.WaitGroup
-	restarting  bool // set under gate.W for the duration of Restart
+
+	// ckptMu serializes fuzzy checkpointers (sharp ones serialize on gate.W).
+	// Tried, never waited on: a checkpoint finding one in flight skips.
+	ckptMu      sync.Mutex
+	cleanerStop chan struct{} // non-nil iff CleanerEvery > 0
+	cleanerWG   sync.WaitGroup
+
+	// restarting is set for the duration of Restart (which holds gate.W).
+	// Read by maintenance entry points before they touch the gate, so a
+	// checkpoint or cleaner pass racing a restart fails fast with
+	// ErrRestarting instead of deadlocking behind the write side.
+	restarting atomic.Bool
 
 	// redoApplied records the most recent restart's per-worker apply counts;
 	// written under gate.W, read under gate.R (ExtendedStats).
@@ -304,7 +380,8 @@ func New(cfg Config) *Server {
 		locks:    lock.NewManager(cfg.LockTimeout),
 		pool:     buffer.NewSharded(cfg.PoolPages, cfg.PoolShards),
 		att:      make(map[logrec.TID]*txn),
-		dpt:      make(map[page.ID]uint64),
+		dpt:      make(map[page.ID]dptEntry),
+		cleaning: make(map[page.ID]bool),
 		wpl:      make(map[page.ID]*wplEntry),
 		nextTID:  1,
 		nextPage: 1,
@@ -326,6 +403,11 @@ func New(cfg Config) *Server {
 		s.scrubWG.Add(1)
 		go s.scrubWorker(cfg.ScrubEvery, batch)
 	}
+	if cfg.CleanerEvery > 0 {
+		s.cleanerStop = make(chan struct{})
+		s.cleanerWG.Add(1)
+		go s.cleanerWorker(cfg.CleanerEvery, s.cleanerBatch())
+	}
 	return s
 }
 
@@ -334,6 +416,10 @@ func New(cfg Config) *Server {
 // inline again).
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		if s.cleanerStop != nil {
+			close(s.cleanerStop)
+			s.cleanerWG.Wait()
+		}
 		if s.scrubStop != nil {
 			close(s.scrubStop)
 			s.scrubWG.Wait()
@@ -374,6 +460,10 @@ func (s *Server) Stats() Stats {
 		ChecksumFailures:   ld(&s.stats.ChecksumFailures),
 		PagesRepaired:      ld(&s.stats.PagesRepaired),
 		PagesUnrepairable:  ld(&s.stats.PagesUnrepairable),
+		CleanerPages:       ld(&s.stats.CleanerPages),
+		CleanerPasses:      ld(&s.stats.CleanerPasses),
+		CleanerHotSkips:    ld(&s.stats.CleanerHotSkips),
+		CkptStallNs:        ld(&s.stats.CkptStallNs),
 	}
 }
 
@@ -393,6 +483,20 @@ func (s *Server) ExtendedStats() StatsX {
 	x.RedoWorkers = len(s.redoApplied)
 	x.RedoApplied = append([]int64(nil), s.redoApplied...)
 	s.gate.RUnlock()
+	s.dptMu.Lock()
+	x.DirtyPages = int64(len(s.dpt))
+	var minRec uint64
+	for _, e := range s.dpt {
+		if minRec == 0 || e.rec < minRec {
+			minRec = e.rec
+		}
+	}
+	s.dptMu.Unlock()
+	if minRec > 0 {
+		if end := s.log.StableEnd(); end > minRec {
+			x.RedoDistanceBytes = int64(end - minRec)
+		}
+	}
 	return x
 }
 
@@ -574,7 +678,7 @@ func (s *Server) fetchShardLocked(sn *Session, sh *buffer.PoolShard, pid page.ID
 			// having already healed the volume and treats fresh damage as
 			// fatal rather than deadlocking.
 			atomic.AddInt64(&s.stats.ChecksumFailures, 1)
-			if s.restarting {
+			if s.restarting.Load() {
 				return nil, err
 			}
 			if rerr := s.repairShardLocked(sn, sh, pid, err, buf[:]); rerr != nil {
@@ -643,10 +747,20 @@ func (s *Server) flushVictimShardLocked(sn *Session, sh *buffer.PoolShard, v *bu
 	}
 	sn.meter().DataWriteAsync(1)
 	atomic.AddInt64(&s.stats.DataWrites, 1)
-	s.dptMu.Lock()
-	delete(s.dpt, pid)
-	s.dptMu.Unlock()
+	s.retireDPT(pid, pg.LSN())
 	return nil
+}
+
+// retireDPT drops pid's dirty-page-table entry if the image just written
+// home (stamped written) covers every logged record for the page. An image
+// older than the newest logged record leaves the entry — with its recLSN —
+// in place, so redo and the cleaner still know work is outstanding.
+func (s *Server) retireDPT(pid page.ID, written uint64) {
+	s.dptMu.Lock()
+	if e, ok := s.dpt[pid]; ok && written >= e.newest {
+		delete(s.dpt, pid)
+	}
+	s.dptMu.Unlock()
 }
 
 // ShipLog delivers a batch of client-generated log records (one "log page").
@@ -674,8 +788,14 @@ func (sn *Session) ShipLog(tid logrec.TID, data []byte) error {
 		}
 		r.TID = tid
 		r.PrevLSN = t.lastLSN
+		// Append and table updates form one attMu critical section: a fuzzy
+		// checkpoint snapshotting under attMu either sees this record's ATT
+		// chain and DPT entry, or sees a begin LSN at or below it and
+		// re-analyzes it from the log (see the package comment).
+		s.attMu.Lock()
 		lsn, err := s.log.Append(r)
 		if err != nil {
+			s.attMu.Unlock()
 			return err
 		}
 		t.lastLSN = lsn
@@ -684,10 +804,16 @@ func (sn *Session) ShipLog(tid logrec.TID, data []byte) error {
 		}
 		t.pageLSN[r.Page] = lsn
 		s.dptMu.Lock()
-		if _, ok := s.dpt[r.Page]; !ok {
-			s.dpt[r.Page] = lsn
+		e, ok := s.dpt[r.Page]
+		if !ok {
+			e = dptEntry{rec: lsn}
 		}
+		if lsn > e.newest {
+			e.newest = lsn
+		}
+		s.dpt[r.Page] = e
 		s.dptMu.Unlock()
+		s.attMu.Unlock()
 		if s.cfg.Mode == ModeREDO {
 			if err := s.apply(sn, r); err != nil {
 				return err
@@ -774,22 +900,36 @@ func (sn *Session) ShipPage(tid logrec.TID, pid page.ID, data []byte) error {
 	}
 	if lsn, ok := t.pageLSN[pid]; ok {
 		page.Wrap(f.Bytes()).SetLSN(lsn)
+		// Usually a no-op: ShipLog inserted the entry when it appended the
+		// records. If the cleaner retired it in between (the disk image had
+		// caught up), the arriving image re-dirties the frame at the same
+		// LSN, so reopen the entry conservatively at that LSN.
 		s.dptMu.Lock()
-		if _, indpt := s.dpt[pid]; !indpt {
-			s.dpt[pid] = lsn
+		e, indpt := s.dpt[pid]
+		if !indpt {
+			e = dptEntry{rec: lsn}
 		}
+		if lsn > e.newest {
+			e.newest = lsn
+		}
+		s.dpt[pid] = e
 		s.dptMu.Unlock()
 	}
 	sh.MarkDirty(pid)
 	return nil
 }
 
-// wplShip appends the page image to the log and updates the WPL table.
+// wplShip appends the page image to the log and updates the WPL table. The
+// append, the ATT chain update and the table insert form one attMu critical
+// section so a fuzzy checkpoint's snapshot cannot miss a copy it will not
+// re-scan (see the package comment).
 func (s *Server) wplShip(sn *Session, t *txn, pid page.ID, data []byte) error {
 	r := logrec.NewPageImage(t.tid, pid, data)
 	r.PrevLSN = t.lastLSN
+	s.attMu.Lock()
 	lsn, err := s.log.Append(r)
 	if err != nil {
+		s.attMu.Unlock()
 		return err
 	}
 	t.lastLSN = lsn
@@ -800,6 +940,7 @@ func (s *Server) wplShip(sn *Session, t *txn, pid page.ID, data []byte) error {
 	s.wplMu.Lock()
 	s.wpl[pid] = &wplEntry{pid: pid, lsn: lsn, tid: t.tid, prev: s.wpl[pid]}
 	s.wplMu.Unlock()
+	s.attMu.Unlock()
 	sn.m.LogWriteAsync(s.log.ForceFull())
 	// Cache the copy; the permanent location is untouched until install.
 	sh := s.pool.Lock(pid)
@@ -832,11 +973,33 @@ func (sn *Session) Commit(tid logrec.TID) error {
 	}
 	c := logrec.NewCommit(tid)
 	c.PrevLSN = t.lastLSN
+	// The commit append, the ATT chain update and (under WPL) the committed
+	// marking form one attMu critical section: a fuzzy checkpoint snapshot
+	// that catches this transaction before its ATT delete sees lastLSN
+	// pointing at the commit record (restart then knows it is no loser), and
+	// a WPL snapshot sees its copies marked. Only the append is inside —
+	// the force below can wait on the group-commit flusher.
+	s.attMu.Lock()
 	if _, err := s.log.Append(c); err != nil {
+		s.attMu.Unlock()
 		exit()
 		return err
 	}
 	t.lastLSN = c.LSN
+	if s.cfg.Mode == ModeWPL {
+		commitEnd := c.LSN + uint64(c.EncodedSize())
+		s.wplMu.Lock()
+		for _, pid := range t.wplPages {
+			for e := s.wpl[pid]; e != nil; e = e.prev {
+				if e.tid == tid {
+					e.committed = true
+					e.commitEnd = commitEnd
+				}
+			}
+		}
+		s.wplMu.Unlock()
+	}
+	s.attMu.Unlock()
 	if s.cfg.Serialize || s.cfg.GroupCommitDelay < 0 {
 		sn.m.LogWrite(s.log.Force())
 	} else {
@@ -862,6 +1025,27 @@ func (sn *Session) Commit(tid logrec.TID) error {
 	s.allocMu.Unlock()
 	exit()
 	s.locks.ReleaseAll(tid)
+	// Soft backpressure: commits never wait on the cleaner, but past the
+	// high watermark (2x the dirty-page target) the committer cleans a few
+	// pages inline so a write-heavy load cannot outrun the cleaner and grow
+	// restart redo without bound. The inline quantum is deliberately small —
+	// a commit dirties at most a handful of pages, so paying a comparable
+	// handful back keeps the pool draining collectively without turning the
+	// watermark into a stop-the-world flush on the commit path.
+	if s.cfg.DirtyPageTarget > 0 {
+		s.dptMu.Lock()
+		backlog := len(s.dpt)
+		s.dptMu.Unlock()
+		if excess := backlog - 2*s.cfg.DirtyPageTarget; excess > 0 {
+			quantum := backpressureQuantum
+			if excess < quantum {
+				quantum = excess
+			}
+			// Maintenance: a disk error here resurfaces on the eviction or
+			// checkpoint path; the commit itself is already durable.
+			_, _ = sn.Clean(quantum)
+		}
+	}
 	if due {
 		if err := sn.Checkpoint(); err != nil {
 			// The commit record is forced; the transaction is durable. A
@@ -877,19 +1061,15 @@ func (sn *Session) Commit(tid logrec.TID) error {
 	return nil
 }
 
-// wplCommit marks the transaction's logged pages committed and installs the
-// ones whose entries are chain heads (the asynchronous installer of §3.4.2 —
-// inline here unless Config.WPLInstallAsync hands the work to the background
-// goroutine).
+// wplCommit installs the transaction's logged pages whose entries are chain
+// heads (the asynchronous installer of §3.4.2 — inline here unless
+// Config.WPLInstallAsync hands the work to the background goroutine). The
+// committed marking itself happened with the commit record's append, inside
+// Commit's attMu section.
 func (s *Server) wplCommit(sn *Session, t *txn) {
 	for _, pid := range t.wplPages {
 		s.wplMu.Lock()
 		head := s.wpl[pid]
-		for e := head; e != nil; e = e.prev {
-			if e.tid == t.tid {
-				e.committed = true
-			}
-		}
 		mine := head != nil && head.tid == t.tid
 		gen := s.wplGen
 		s.wplMu.Unlock()
@@ -944,6 +1124,13 @@ func (s *Server) installHead(sn *Session, pid page.ID, e *wplEntry, gen uint64) 
 // location and removes its table entry. Caller holds e.pid's shard latch and
 // wplMu, and has validated e == s.wpl[e.pid] && e.committed.
 func (s *Server) installWPLLocked(sn *Session, sh *buffer.PoolShard, e *wplEntry) error {
+	if e.commitEnd > s.log.StableEnd() {
+		// The committed marking is applied with the commit record's append,
+		// before the force — an evictor can get here while the committer is
+		// still parked in the group-commit flusher. The permanent location
+		// must not see the copy before its commit record is stable.
+		sn.meter().LogWrite(s.log.Force())
+	}
 	var img []byte
 	cached := sh.Peek(e.pid)
 	if cached != nil {
@@ -1093,18 +1280,28 @@ func (s *Server) undoApply(sn *Session, t *txn, r *logrec.Record) error {
 		After:    append([]byte(nil), r.Before...),
 		PrevLSN:  t.lastLSN,
 	}
+	// CLR append + ATT/DPT updates: one attMu section, same reasoning as
+	// ShipLog (the fuzzy-checkpoint snapshot invariant).
+	s.attMu.Lock()
 	lsn, err := s.log.Append(clr)
 	if err != nil {
+		s.attMu.Unlock()
 		return err
 	}
 	t.lastLSN = lsn
+	s.dptMu.Lock()
+	e, ok := s.dpt[r.Page]
+	if !ok {
+		e = dptEntry{rec: lsn}
+	}
+	if lsn > e.newest {
+		e.newest = lsn
+	}
+	s.dpt[r.Page] = e
+	s.dptMu.Unlock()
+	s.attMu.Unlock()
 	page.Wrap(f.Bytes()).SetLSN(lsn)
 	sh.MarkDirty(r.Page)
-	s.dptMu.Lock()
-	if _, ok := s.dpt[r.Page]; !ok {
-		s.dpt[r.Page] = lsn
-	}
-	s.dptMu.Unlock()
 	return nil
 }
 

@@ -46,6 +46,10 @@ type Log struct {
 	limiter   func(proposed uint64) uint64
 	truncGate func() bool
 	archGate  func(newHead uint64) bool
+	// floor, when non-zero, bounds how far Truncate may advance the head:
+	// records at or above floor are still needed (fuzzy checkpoints keep the
+	// oldest dirty-page recLSN here, since restart redo must scan from it).
+	floor uint64
 
 	// Group commit. Committers park in CommitWait until a flush attempt has
 	// covered their commit LSN; a one-shot flusher goroutine performs one
@@ -113,6 +117,18 @@ func NewAt(capacity int, start uint64) *Log {
 	return l
 }
 
+// encPool recycles Append's staging buffers. Every append encodes into a
+// scratch slice before copying into the ring; without pooling that is one
+// allocation per log record on the commit path (BenchmarkAppend reports the
+// difference). Buffers grow to the largest record seen (a whole-page image
+// under WPL) and are reused at that size.
+var encPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
 // Append assigns the next LSN to r and stores its encoding in the volatile
 // tail. It returns the assigned LSN. The caller is responsible for setting
 // PrevLSN and the transaction fields before appending.
@@ -125,8 +141,11 @@ func (l *Log) Append(r *logrec.Record) (uint64, error) {
 			ErrFull, size, l.next-l.head, l.capacity)
 	}
 	r.LSN = l.next
-	buf := r.Encode(nil)
+	bp := encPool.Get().(*[]byte)
+	buf := r.Encode((*bp)[:0])
 	l.writeRing(l.next, buf)
+	*bp = buf[:0]
+	encPool.Put(bp)
 	l.next += size
 	return r.LSN, nil
 }
@@ -441,8 +460,28 @@ func (l *Log) SetArchiveGate(fn func(newHead uint64) bool) {
 	l.archGate = fn
 }
 
+// SetTruncateFloor sets the lowest LSN truncation must retain (0 removes the
+// floor). Truncate clamps its head to the floor instead of failing, so a
+// caller computing a head from stale state cannot reclaim records restart
+// redo still needs: the server keeps the oldest dirty-page recLSN here, the
+// redo scan start under fuzzy checkpoints.
+func (l *Log) SetTruncateFloor(lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.floor = lsn
+}
+
+// TruncateFloor returns the current recLSN truncation floor (0 = none).
+func (l *Log) TruncateFloor() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.floor
+}
+
 // Truncate reclaims log space below newHead, which must be a record boundary
-// at or below the stable end.
+// at or below the stable end. The head never advances past the truncation
+// floor (SetTruncateFloor); a fully clamped truncation is a no-op, not an
+// error, and — like a gate-deferred one — not a stable-storage event.
 func (l *Log) Truncate(newHead uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -452,7 +491,10 @@ func (l *Log) Truncate(newHead uint64) error {
 	if newHead > l.flushed {
 		return fmt.Errorf("wal: truncate beyond stable end (%d > %d)", newHead, l.flushed)
 	}
-	if newHead == l.head {
+	if l.floor > 0 && newHead > l.floor {
+		newHead = l.floor
+	}
+	if newHead <= l.head {
 		return nil
 	}
 	if l.archGate != nil && !l.archGate(newHead) {
