@@ -8,13 +8,15 @@
 # race-enabled background scrubber (DESIGN.md §12), and the fuzzy-checkpoint
 # / page-cleaner surface: the cleaner racing committing sessions under
 # -race, the fuzzy crash-point sweep smoke, and one pass of the checkpoint
-# latency benchmark (DESIGN.md §13).
+# latency benchmark (DESIGN.md §13), and the hot-standby replication
+# surface: the shipping/apply/promotion paths under -race and the failover
+# sweep smoke (every scheme, record-boundary stream cuts; DESIGN.md §14).
 
 GO ?= go
 
-.PHONY: check vet lint build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke bench-commit bench-ckpt
+.PHONY: check vet lint build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke bench-commit bench-ckpt race-repl repl-sweep-smoke bench-repl
 
-check: vet lint build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke
+check: vet lint build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke race-repl repl-sweep-smoke
 
 vet:
 	$(GO) vet ./...
@@ -103,3 +105,22 @@ bench-commit:
 # (DESIGN.md §13).
 bench-ckpt:
 	$(GO) run ./cmd/benchcommit -ckpt -out BENCH_checkpoint.json
+
+# The replication surface under the race detector: the shipper's fetch/ack
+# paths, the continuously-applying standby, promotion, and the wire-level
+# failover protocol (DESIGN.md §14).
+race-repl:
+	$(GO) test -race ./internal/repl/ -count=1
+	$(GO) test -race ./internal/wire/ -run 'TestClientFailover|TestStandby|TestRepl' -count=1
+
+# Failover sweep: cut the shipped stream at every record boundary (budget-
+# sampled), promote the standby, and demand byte-equivalence with a
+# single-node restart at the same cut plus exact acked-commit durability,
+# all five schemes (DESIGN.md §14).
+repl-sweep-smoke:
+	$(GO) test ./internal/harness/ -run TestReplSweep -count=1
+
+# Commit p50/p99 with a hot standby attached: no replication vs async vs
+# semi-sync acks at 8 clients, writing BENCH_repl.json (DESIGN.md §14).
+bench-repl:
+	$(GO) run ./cmd/benchcommit -repl -out BENCH_repl.json

@@ -94,6 +94,7 @@ func main() {
 		clientsArg = flag.String("clients", "1,2,4,8", "comma-separated client counts")
 		cksum      = flag.Bool("checksum", false, "wrap the volume in the per-page checksum envelope (measures integrity overhead)")
 		ckpt       = flag.Bool("ckpt", false, "run the checkpoint benchmark instead (commit p99 during a checkpoint, sharp vs fuzzy; writes BENCH_checkpoint.json)")
+		replB      = flag.Bool("repl", false, "run the replication benchmark instead (commit p50/p99 with a hot standby, async vs semi-sync acks; writes BENCH_repl.json)")
 	)
 	flag.Parse()
 	checksummed = *cksum
@@ -104,6 +105,14 @@ func main() {
 			dest = "BENCH_checkpoint.json"
 		}
 		runCkptBench(dest, *writeDelay)
+		return
+	}
+	if *replB {
+		dest := *out
+		if dest == "BENCH_commit.json" {
+			dest = "BENCH_repl.json"
+		}
+		runReplBench(dest, *writeDelay)
 		return
 	}
 

@@ -1,0 +1,279 @@
+package main
+
+// The -repl arm: commit latency with a hot standby attached, async vs
+// semi-sync acks.
+//
+// All arms run the same 8-client PD-ESM private-page update workload as the
+// main grid. The "off" arm is the no-replication baseline. The "async" arm
+// wires a repl.Primary and a continuously-applying in-process standby but
+// commits return after the local force, so the stream rides for free. The
+// "semi-sync" arm makes each commit wait until the standby has applied and
+// forced it — the ack is carried on the standby's next fetch, so the paid
+// price is one poll cycle plus the standby's own apply and log force.
+//
+// Every commit is timestamped; the report keys on commit p50/p99 per arm at
+// 8 clients, the semi-sync overhead factor over async, and that no commit
+// degraded to async on an ack timeout (the bound the ack timeout enforces).
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	quickstore "repro"
+	"repro/internal/client"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// Replication-arm workload shape.
+const (
+	replClients    = 8
+	replTxnsPerCli = 300
+	replPoll       = 100 * time.Microsecond
+	replAckTimeout = time.Second
+)
+
+// ReplRun is one arm of the replication benchmark.
+type ReplRun struct {
+	Arm        string  `json:"arm"` // "off", "async" or "semi-sync"
+	Txns       int64   `json:"txns"`
+	Seconds    float64 `json:"seconds"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+
+	P50Ns int64 `json:"commit_p50_ns"`
+	P99Ns int64 `json:"commit_p99_ns"`
+
+	// Shipping behaviour over the run (zero in the "off" arm).
+	Fetches        int64  `json:"fetches,omitempty"`
+	AckWaits       int64  `json:"ack_waits,omitempty"`
+	AckTimeouts    int64  `json:"ack_timeouts"`
+	StandbyRecords int64  `json:"standby_records,omitempty"`
+	StandbyLagEnd  uint64 `json:"standby_lag_bytes_end"`
+}
+
+// ReplSummary distills the acceptance criteria: semi-sync costs a bounded
+// factor over async and never trips its ack timeout.
+type ReplSummary struct {
+	OffP99Ns      int64   `json:"off_p99_ns"`
+	AsyncP99Ns    int64   `json:"async_p99_ns"`
+	SemiSyncP50Ns int64   `json:"semi_sync_p50_ns"`
+	SemiSyncP99Ns int64   `json:"semi_sync_p99_ns"`
+	OverheadP50   float64 `json:"semi_sync_p50_over_async"`
+	OverheadP99   float64 `json:"semi_sync_p99_over_async"`
+	AckTimeouts   int64   `json:"semi_sync_ack_timeouts"`
+	Bounded       bool    `json:"overhead_bounded"` // no timeouts and p99 within 10x async
+}
+
+// ReplOutput is the whole BENCH_repl.json document.
+type ReplOutput struct {
+	Config struct {
+		Clients    int    `json:"clients"`
+		TxnsPerCli int    `json:"txns_per_client"`
+		WriteDelay string `json:"log_write_delay"`
+		Poll       string `json:"standby_poll_interval"`
+		AckTimeout string `json:"ack_timeout"`
+		Scheme     string `json:"scheme"`
+	} `json:"config"`
+	Runs    []ReplRun   `json:"runs"`
+	Summary ReplSummary `json:"summary"`
+}
+
+// runReplBench runs all three arms and writes the report to out.
+func runReplBench(out string, writeDelay time.Duration) {
+	var doc ReplOutput
+	doc.Config.Clients = replClients
+	doc.Config.TxnsPerCli = replTxnsPerCli
+	doc.Config.WriteDelay = writeDelay.String()
+	doc.Config.Poll = replPoll.String()
+	doc.Config.AckTimeout = replAckTimeout.String()
+	doc.Config.Scheme = quickstore.PDESM.String()
+
+	runs := map[string]ReplRun{}
+	for _, arm := range []string{"off", "async", "semi-sync"} {
+		r := runReplArm(arm, writeDelay)
+		doc.Runs = append(doc.Runs, r)
+		runs[arm] = r
+		fmt.Fprintf(os.Stderr, "%-9s %8.0f txn/s  p50=%s p99=%s  ack_waits=%d ack_timeouts=%d\n",
+			r.Arm, r.TxnsPerSec, time.Duration(r.P50Ns), time.Duration(r.P99Ns),
+			r.AckWaits, r.AckTimeouts)
+	}
+
+	async, semi := runs["async"], runs["semi-sync"]
+	s := ReplSummary{
+		OffP99Ns:      runs["off"].P99Ns,
+		AsyncP99Ns:    async.P99Ns,
+		SemiSyncP50Ns: semi.P50Ns,
+		SemiSyncP99Ns: semi.P99Ns,
+		AckTimeouts:   semi.AckTimeouts,
+	}
+	if async.P50Ns > 0 {
+		s.OverheadP50 = float64(semi.P50Ns) / float64(async.P50Ns)
+	}
+	if async.P99Ns > 0 {
+		s.OverheadP99 = float64(semi.P99Ns) / float64(async.P99Ns)
+	}
+	s.Bounded = s.AckTimeouts == 0 && semi.P99Ns < 10*async.P99Ns
+	doc.Summary = s
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("benchcommit: %v", err)
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		log.Fatalf("benchcommit: %v", err)
+	}
+	fmt.Printf("repl commit p99: off %s, async %s, semi-sync %s (%.2fx async), ack timeouts %d, bounded: %v\n",
+		time.Duration(s.OffP99Ns), time.Duration(s.AsyncP99Ns), time.Duration(s.SemiSyncP99Ns),
+		s.OverheadP99, s.AckTimeouts, s.Bounded)
+}
+
+// runReplArm executes one arm: the 8-client private-page workload with a hot
+// standby attached per the arm's ack mode.
+//
+//qslint:allow determinism: latency benchmark — timestamps commits by design; nothing here is logged or replayed
+func runReplArm(arm string, writeDelay time.Duration) ReplRun {
+	plog := wal.New(wal.DefaultCapacity)
+	cfg := server.Config{
+		Mode:            server.ModeESM,
+		Store:           benchStore(),
+		Log:             plog,
+		CheckpointEvery: 1 << 30,
+		WPLInstallAsync: true,
+	}
+	var prim *repl.Primary
+	if arm != "off" {
+		ack := repl.AckAsync
+		if arm == "semi-sync" {
+			ack = repl.AckSemiSync
+		}
+		prim = repl.NewPrimary(plog, repl.PrimaryOptions{Mode: ack, AckTimeout: replAckTimeout})
+		prim.Wire(&cfg)
+	}
+	srv := server.New(cfg)
+	defer srv.Close()
+	plog.SetWriteDelay(writeDelay)
+
+	var sb *repl.Standby
+	if prim != nil {
+		slog := wal.New(wal.DefaultCapacity)
+		ssrv := server.New(server.Config{
+			Mode:            server.ModeESM,
+			Log:             slog,
+			Standby:         true,
+			CheckpointEvery: 1 << 30,
+		})
+		defer ssrv.Close()
+		slog.SetWriteDelay(writeDelay) // the standby's force costs what the primary's does
+		sb = repl.NewStandby(slog, ssrv.NewSession(nil, nil), prim.Fetch,
+			repl.StandbyOptions{PollInterval: replPoll})
+		go sb.Run()
+		defer sb.Stop()
+	}
+
+	clis := make([]*client.Client, replClients)
+	oids := make([]quickstore.OID, replClients)
+	for i := range clis {
+		clis[i] = newClient(quickstore.PDESM, server.ModeESM, srv)
+		tx, err := clis[i].Begin()
+		if err != nil {
+			log.Fatalf("benchcommit: repl setup begin: %v", err)
+		}
+		if _, err := tx.NewPage(); err != nil {
+			log.Fatalf("benchcommit: repl setup page: %v", err)
+		}
+		oid, err := tx.Allocate(objectBytes)
+		if err != nil {
+			log.Fatalf("benchcommit: repl setup alloc: %v", err)
+		}
+		if err := tx.Write(oid, 0, make([]byte, objectBytes)); err != nil {
+			log.Fatalf("benchcommit: repl setup write: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatalf("benchcommit: repl setup commit: %v", err)
+		}
+		oids[i] = oid
+	}
+	if prim != nil {
+		// Semi-sync latency must not include the standby's initial catch-up:
+		// wait for the shipped prefix so the timed window starts at zero lag.
+		deadline := time.Now().Add(10 * time.Second)
+		for sb.Status().AppliedLSN < plog.StableEnd() {
+			if time.Now().After(deadline) {
+				log.Fatalf("benchcommit: standby never caught up: %+v", sb.Status())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	var pBefore repl.PrimaryStatus
+	if prim != nil {
+		pBefore = prim.Status()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	samples := make([][]int64, replClients)
+	errs := make([]error, replClients)
+	for i := 0; i < replClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]byte, objectBytes)
+			for t := 0; t < replTxnsPerCli; t++ {
+				copy(buf, fmt.Sprintf("client %d txn %d", i, t))
+				s0 := time.Now()
+				tx, err := clis[i].Begin()
+				if err == nil {
+					if err = tx.Write(oids[i], 0, buf); err == nil {
+						err = tx.Commit()
+					} else {
+						tx.Abort()
+					}
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("client %d txn %d: %w", i, t, err)
+					return
+				}
+				samples[i] = append(samples[i], time.Since(s0).Nanoseconds())
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			log.Fatalf("benchcommit: repl arm %s: %v", arm, err)
+		}
+	}
+
+	var lats []int64
+	for _, s := range samples {
+		lats = append(lats, s...)
+	}
+	r := ReplRun{
+		Arm:        arm,
+		Txns:       int64(len(lats)),
+		Seconds:    elapsed.Seconds(),
+		TxnsPerSec: float64(len(lats)) / elapsed.Seconds(),
+		P50Ns:      percentile(lats, 50),
+		P99Ns:      percentile(lats, 99),
+	}
+	if prim != nil {
+		pAfter := prim.Status()
+		r.Fetches = pAfter.Fetches - pBefore.Fetches
+		r.AckWaits = pAfter.AckWaits - pBefore.AckWaits
+		r.AckTimeouts = pAfter.AckTimeouts - pBefore.AckTimeouts
+		r.StandbyRecords = sb.Status().Records
+		r.StandbyLagEnd = sb.Status().LagBytes
+	}
+	return r
+}

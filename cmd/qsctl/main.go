@@ -27,6 +27,12 @@
 //	qsctl archive-status                          # archiver lag and backup positions
 //	qsctl restore -archive-dir DIR -data VOL      # offline: rebuild a destroyed volume
 //	qsctl restore -archive-dir DIR -data VOL -target 123456   # point-in-time
+//
+// When replication is on (quickstored -repl on the primary, -replica-of on
+// the standby), qsctl shows shipping/apply lag and drives failover:
+//
+//	qsctl repl-status                 # role, ack mode, acked/applied LSNs, lag
+//	qsctl -addr standby:7447 promote  # stop following, open for writes
 package main
 
 import (
@@ -56,7 +62,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench | stats [-json] | scrub [limit] | backup | archive-status | restore [flags] | faults arm <plan> | faults disarm | faults list")
+		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench | stats [-json] | scrub [limit] | backup | archive-status | restore [flags] | repl-status | promote | faults arm <plan> | faults disarm | faults list")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "faults" {
@@ -89,6 +95,13 @@ func main() {
 	}
 	if flag.Arg(0) == "restore" {
 		if err := restoreCmd(flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.Arg(0) == "repl-status" || flag.Arg(0) == "promote" {
+		if err := replCmd(*addr, flag.Arg(0)); err != nil {
 			fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
 			os.Exit(1)
 		}
@@ -289,7 +302,65 @@ func statsCmd(addr string, args []string) error {
 			a.Generation, a.Segments, a.ArchivedUpTo, a.LagBytes, a.SegmentsBehind)
 		fmt.Printf("  backups        count=%d last_backup_lsn=%d\n", a.Backups, a.LastBackupLSN)
 	}
+	if r := x.Repl; r != nil {
+		fmt.Printf("replication      role=primary mode=%s connected=%v acked=%d stable=%d lag=%dB\n",
+			r.Mode, r.Connected, r.AckedLSN, r.StableEnd, r.LagBytes)
+		fmt.Printf("  shipping       fetches=%d ack_waits=%d ack_timeouts=%d\n",
+			r.Fetches, r.AckWaits, r.AckTimeouts)
+	}
+	if s := x.Standby; s != nil {
+		fmt.Printf("replication      role=standby applied=%d remote_stable=%d lag=%dB\n",
+			s.AppliedLSN, s.RemoteStable, s.LagBytes)
+		fmt.Printf("  applying       batches=%d records=%d reconnects=%d\n",
+			s.Batches, s.Records, s.Reconnects)
+	}
 	return nil
+}
+
+// replCmd serves the replication subcommands against a live daemon:
+// repl-status prints shipping or apply lag depending on the daemon's role,
+// and promote turns a hot standby into a writable primary (the point of the
+// whole exercise — see DESIGN.md §14).
+func replCmd(addr, cmd string) error {
+	cli, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	switch cmd {
+	case "promote":
+		if err := cli.Promote(); err != nil {
+			return err
+		}
+		fmt.Println("standby promoted: now accepting writes")
+		return nil
+	case "repl-status":
+		x, err := cli.ServerStats()
+		if err != nil {
+			return err
+		}
+		switch {
+		case x.Repl != nil:
+			r := x.Repl
+			fmt.Printf("role             primary (%s)\n", r.Mode)
+			fmt.Printf("standby          connected=%v\n", r.Connected)
+			fmt.Printf("shipped          cursor=%d acked=%d stable_end=%d\n", r.CursorLSN, r.AckedLSN, r.StableEnd)
+			fmt.Printf("lag              %d bytes unacked\n", r.LagBytes)
+			fmt.Printf("counters         fetches=%d ack_waits=%d ack_timeouts=%d\n",
+				r.Fetches, r.AckWaits, r.AckTimeouts)
+		case x.Standby != nil:
+			s := x.Standby
+			fmt.Printf("role             standby\n")
+			fmt.Printf("applied          %d (primary stable end %d)\n", s.AppliedLSN, s.RemoteStable)
+			fmt.Printf("lag              %d bytes behind the primary\n", s.LagBytes)
+			fmt.Printf("counters         batches=%d records=%d reconnects=%d\n",
+				s.Batches, s.Records, s.Reconnects)
+		default:
+			fmt.Println("replication not configured (start the primary with -repl, the standby with -replica-of)")
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown repl command %q", cmd)
 }
 
 // scrubCmd asks the daemon to verify (and repair) stored pages now. With no

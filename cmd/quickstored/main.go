@@ -21,6 +21,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/faultinject"
 	"repro/internal/page"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/wal"
 	"repro/internal/wire"
@@ -28,24 +29,28 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7447", "listen address")
-		mode     = flag.String("mode", "esm", "recovery mode: esm|redo|wpl")
-		data     = flag.String("data", "", "data volume file (empty = in-memory)")
-		cacheMB  = flag.Int("cache", 36, "server buffer pool (MB)")
-		logMB    = flag.Int("log", 256, "transaction log capacity (MB)")
-		gcDelay  = flag.Duration("gcdelay", 0, "group-commit max batch delay (0 = batch without delay, <0 = disable group commit)")
-		shards   = flag.Int("shards", 0, "buffer pool latch shards (0 = default)")
-		serial   = flag.Bool("serialize", false, "serialize all sessions on one mutex (pre-group-commit behaviour)")
-		wplSync  = flag.Bool("wpl-sync-install", false, "wpl: install committed pages inline at commit instead of in the background")
-		archDir  = flag.String("archive-dir", "", "archive log segments and backups into this directory (empty = no archiving)")
-		archInt  = flag.Duration("archive-every", 5*time.Second, "background archiver drain interval")
-		cksum    = flag.Bool("checksum", true, "verify per-page checksum envelopes on every read (the volume must have been written with checksums)")
-		scrubInt = flag.Duration("scrub-every", 0, "background scrubber tick (0 = no scrubbing; requires -checksum)")
-		scrubN   = flag.Int("scrub-pages", 0, "pages verified per scrubber tick (0 = default)")
-		fuzzy    = flag.Bool("fuzzy-ckpt", false, "fuzzy checkpoints: log the dirty page table instead of flushing it (pair with -cleaner-every)")
-		cleanInt = flag.Duration("cleaner-every", 0, "background page cleaner tick (0 = no cleaner)")
-		cleanN   = flag.Int("cleaner-batch", 0, "pages written per cleaner tick (0 = default)")
-		dirtyTgt = flag.Int("dirty-target", 0, "dirty-page count the cleaner drains toward; commits apply soft backpressure past 2x (0 = clean whenever dirty pages exist)")
+		addr      = flag.String("addr", ":7447", "listen address")
+		mode      = flag.String("mode", "esm", "recovery mode: esm|redo|wpl")
+		data      = flag.String("data", "", "data volume file (empty = in-memory)")
+		cacheMB   = flag.Int("cache", 36, "server buffer pool (MB)")
+		logMB     = flag.Int("log", 256, "transaction log capacity (MB)")
+		gcDelay   = flag.Duration("gcdelay", 0, "group-commit max batch delay (0 = batch without delay, <0 = disable group commit)")
+		shards    = flag.Int("shards", 0, "buffer pool latch shards (0 = default)")
+		serial    = flag.Bool("serialize", false, "serialize all sessions on one mutex (pre-group-commit behaviour)")
+		wplSync   = flag.Bool("wpl-sync-install", false, "wpl: install committed pages inline at commit instead of in the background")
+		archDir   = flag.String("archive-dir", "", "archive log segments and backups into this directory (empty = no archiving)")
+		archInt   = flag.Duration("archive-every", 5*time.Second, "background archiver drain interval")
+		cksum     = flag.Bool("checksum", true, "verify per-page checksum envelopes on every read (the volume must have been written with checksums)")
+		scrubInt  = flag.Duration("scrub-every", 0, "background scrubber tick (0 = no scrubbing; requires -checksum)")
+		scrubN    = flag.Int("scrub-pages", 0, "pages verified per scrubber tick (0 = default)")
+		fuzzy     = flag.Bool("fuzzy-ckpt", false, "fuzzy checkpoints: log the dirty page table instead of flushing it (pair with -cleaner-every)")
+		cleanInt  = flag.Duration("cleaner-every", 0, "background page cleaner tick (0 = no cleaner)")
+		cleanN    = flag.Int("cleaner-batch", 0, "pages written per cleaner tick (0 = default)")
+		dirtyTgt  = flag.Int("dirty-target", 0, "dirty-page count the cleaner drains toward; commits apply soft backpressure past 2x (0 = clean whenever dirty pages exist)")
+		replShip  = flag.Bool("repl", false, "ship the WAL to a hot standby (serves repl-fetch; start the standby with -replica-of)")
+		replAck   = flag.String("repl-ack", "async", "replication ack mode: async|semi-sync (semi-sync blocks each commit until the standby applied it, with a timeout)")
+		replTO    = flag.Duration("repl-ack-timeout", 500*time.Millisecond, "semi-sync ack wait bound; a timeout degrades that commit to async")
+		replicaOf = flag.String("replica-of", "", "run as a hot standby of the primary at this address: read-only until promoted (qsctl promote); with -archive-dir, cold-bootstrap from that archive copy first")
 	)
 	flag.Parse()
 
@@ -104,9 +109,50 @@ func main() {
 	} else if *scrubInt > 0 {
 		log.Fatalf("quickstored: -scrub-every needs -checksum (nothing to verify without envelopes)")
 	}
+	if *replShip && *replicaOf != "" {
+		log.Fatalf("quickstored: -repl and -replica-of are mutually exclusive (a standby does not ship onward)")
+	}
 	cfg.Log = wal.New(cfg.LogCapacity)
+	var boot *archive.BootstrapResult
+	if *replicaOf != "" {
+		cfg.Standby = true
+		if *archDir != "" {
+			// Cold bootstrap: restore the newest backup plus archived log from
+			// a copy of the primary's archive, skipping the restart pass
+			// (ReplayLocal below applies the rebuilt log's effects instead).
+			blobs, err := archive.OpenDir(*archDir)
+			if err != nil {
+				log.Fatalf("quickstored: opening archive: %v", err)
+			}
+			boot, err = archive.Bootstrap(blobs, archive.BootstrapOptions{
+				NewStore: func() (disk.Store, error) { return cfg.Store, nil },
+				LogSlack: cfg.LogCapacity,
+			})
+			if err != nil {
+				log.Fatalf("quickstored: archive bootstrap: %v", err)
+			}
+			cfg.Log = boot.Log
+			log.Printf("bootstrapped from backup at LSN %d (%d segments, %d records re-appended)",
+				boot.Backup.End, boot.Segments, boot.Records)
+		} else if recover {
+			log.Fatalf("quickstored: a standby must start from an empty volume, or cold-bootstrap from an archive copy (-archive-dir)")
+		}
+	}
+	var prim *repl.Primary
+	if *replShip {
+		ack := repl.AckAsync
+		switch *replAck {
+		case "async":
+		case "semi-sync":
+			ack = repl.AckSemiSync
+		default:
+			log.Fatalf("quickstored: unknown -repl-ack %q (async|semi-sync)", *replAck)
+		}
+		prim = repl.NewPrimary(cfg.Log, repl.PrimaryOptions{Mode: ack, AckTimeout: *replTO})
+		prim.Wire(&cfg)
+	}
 	var arch *archive.Archiver
-	if *archDir != "" {
+	if *archDir != "" && *replicaOf == "" {
 		blobs, err := archive.OpenDir(*archDir)
 		if err != nil {
 			log.Fatalf("quickstored: opening archive: %v", err)
@@ -120,11 +166,33 @@ func main() {
 		archive.Wire(&cfg, arch)
 	}
 	srv := server.New(cfg)
-	if recover {
+	if recover && *replicaOf == "" {
 		if err := srv.NewSession(nil, nil).Restart(); err != nil {
 			log.Fatalf("quickstored: recovery: %v", err)
 		}
 		log.Printf("recovered volume %s", *data)
+	}
+	var sb *repl.Standby
+	if *replicaOf != "" {
+		feed, err := wire.Dial(*replicaOf)
+		if err != nil {
+			log.Fatalf("quickstored: connecting to primary %s: %v", *replicaOf, err)
+		}
+		sb = repl.NewStandby(cfg.Log, srv.NewSession(nil, nil), feed.ReplFetch, repl.StandbyOptions{})
+		if boot != nil {
+			if err := sb.ReplayLocal(); err != nil {
+				log.Fatalf("quickstored: bootstrap replay: %v", err)
+			}
+		}
+		go func() {
+			// Run ends nil after promotion (qsctl promote) or Stop; anything
+			// else — a gap (re-bootstrap from a fresher archive copy) or a
+			// diverged replica — is fatal by design.
+			if err := sb.Run(); err != nil {
+				log.Fatalf("quickstored: replication: %v", err)
+			}
+		}()
+		log.Printf("hot standby following %s", *replicaOf)
 	}
 	if arch != nil {
 		// The in-memory log restarts its LSN space every process start, so
@@ -157,6 +225,16 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
+		if sb != nil {
+			sb.Stop()
+		}
+		if srv.Standby() {
+			// A standby owns no durability obligations: its volume rebuilds
+			// from the primary's stream (or archive) on the next start.
+			log.Printf("standby shutting down")
+			lis.Close()
+			os.Exit(0)
+		}
 		log.Printf("shutting down: checkpointing")
 		srv.Close() // drain the WPL install worker before the final checkpoint
 		sn := srv.NewSession(nil, nil)
@@ -182,7 +260,7 @@ func main() {
 		os.Exit(0)
 	}()
 
-	if err := wire.ServeWith(lis, srv, wire.ServeOpts{Faults: faults, Archive: arch}); err != nil {
+	if err := wire.ServeWith(lis, srv, wire.ServeOpts{Faults: faults, Archive: arch, Repl: prim, Standby: sb}); err != nil {
 		log.Fatalf("quickstored: %v", err)
 	}
 }

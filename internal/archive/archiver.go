@@ -121,8 +121,15 @@ func (a *Archiver) DrainTo(target uint64) error {
 		}
 		var payload []byte
 		count := 0
+		// ScanFrom (the shipping tail-follow scan) rather than Scan: it stops
+		// at the stable end by construction — the archive must never contain a
+		// volatile record — and it releases the log lock between records, so a
+		// large drain does not stall committers behind the whole segment scan.
+		// next is tracked explicitly because the target check rejects a record
+		// without consuming it, while ScanFrom's own resume LSN counts every
+		// record delivered to fn.
 		next := from
-		err := a.log.Scan(from, func(r *logrec.Record) bool {
+		_, err := a.log.ScanFrom(from, nil, func(r *logrec.Record) bool {
 			if r.LSN >= target {
 				return false
 			}

@@ -86,25 +86,49 @@ type RestoreResult struct {
 // for the restart pass's own records (loser CLRs, the closing checkpoint).
 const restoreLogSlack = 8 << 20
 
-// Restore rebuilds a destroyed volume from the newest usable backup plus the
-// archived log, replaying to the end of the archive or to opts.TargetLSN.
+// BootstrapOptions configures a volume bootstrap (the restore phase shared
+// by media recovery and cold-standby seeding).
+type BootstrapOptions struct {
+	// TargetLSN, when non-zero, bounds replay as in RestoreOptions.TargetLSN.
+	TargetLSN uint64
+	// NewStore supplies the staging volume (in-memory store if nil).
+	NewStore func() (disk.Store, error)
+	// LogSlack is extra rebuilt-log capacity beyond the archived span
+	// (default 8 MB). A standby bootstrapping to follow a live primary
+	// should size this for the ongoing stream, not just recovery's own
+	// appends.
+	LogSlack int
+}
+
+// BootstrapResult is a restored-but-not-recovered volume: the backup image
+// plus the archived log re-appended at identical LSNs, forced, with no
+// restart pass run. Media restore continues with Restart; a cold standby
+// instead replays the rebuilt log through the server's ApplyShipped and then
+// follows the live stream — running Restart here would append loser CLRs the
+// primary's log does not have, and the replica would diverge before it began.
+type BootstrapResult struct {
+	Store    disk.Store
+	Log      *wal.Log
+	Backup   BackupInfo // the base backup used
+	CutLSN   uint64     // LSN the log was rebuilt to
+	Segments int        // archive segments replayed
+	Records  int        // log records re-appended
+}
+
+// Bootstrap rebuilds a volume and its log from the newest usable backup plus
+// the archived log, stopping short of any recovery pass.
 //
 // The rebuilt log is a fresh wal ring seeded at the backup's RedoStart
 // (wal.NewAt): archived records re-appended in order are contiguous, so each
 // receives exactly the LSN it had when first logged, and every LSN embedded
 // elsewhere — page headers, checkpoint payloads, the superblock's master
-// record — resolves against the rebuilt log unchanged. Recovery itself is
-// the server's own Restart: analysis from the backed-up superblock's
-// checkpoint, scheme-appropriate redo (parallel fan-out for ESM/REDO, the
-// backward CTL scan for WPL), then rollback of every transaction the
-// replayed prefix does not commit — which is exactly prefix consistency at
-// the cut LSN.
+// record — resolves against the rebuilt log unchanged.
 //
-// Restore never writes to the archive and stages into a fresh volume, so it
-// is idempotent: run it again after a crash and it performs the same work.
+// Bootstrap never writes to the archive and stages into a fresh volume, so
+// it is idempotent: run it again after a crash and it performs the same work.
 //
-//qslint:allow wal-discipline: backup images are written before the archived log is re-appended by design — the records describe history already stable in the archive, and the rebuilt log is forced before the server opens
-func Restore(blobs BlobStore, opts RestoreOptions) (*RestoreResult, error) {
+//qslint:allow wal-discipline: backup images are written before the archived log is re-appended by design — the records describe history already stable in the archive, and the rebuilt log is forced before any server opens
+func Bootstrap(blobs BlobStore, opts BootstrapOptions) (*BootstrapResult, error) {
 	target := opts.TargetLSN
 	if target == 0 {
 		target = ^uint64(0)
@@ -126,7 +150,7 @@ func Restore(blobs BlobStore, opts RestoreOptions) (*RestoreResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	fail := func(err error) (*RestoreResult, error) {
+	fail := func(err error) (*BootstrapResult, error) {
 		store.Close()
 		return nil, err
 	}
@@ -144,11 +168,15 @@ func Restore(blobs BlobStore, opts RestoreOptions) (*RestoreResult, error) {
 		}
 	}
 
+	slack := opts.LogSlack
+	if slack <= 0 {
+		slack = restoreLogSlack
+	}
 	span := 0
 	if end := chainEnd(chain, backup); end > backup.RedoStart {
 		span = int(end - backup.RedoStart)
 	}
-	log := wal.NewAt(span+restoreLogSlack, backup.RedoStart)
+	log := wal.NewAt(span+slack, backup.RedoStart)
 	cut := backup.RedoStart
 	records := 0
 replay:
@@ -183,6 +211,36 @@ replay:
 			ErrArchiveGap, cut, backup.End))
 	}
 	log.Force()
+	return &BootstrapResult{
+		Store:    store,
+		Log:      log,
+		Backup:   backup,
+		CutLSN:   cut,
+		Segments: len(chain),
+		Records:  records,
+	}, nil
+}
+
+// Restore rebuilds a destroyed volume from the newest usable backup plus the
+// archived log (Bootstrap), then recovers it with the server's own Restart:
+// analysis from the backed-up superblock's checkpoint, scheme-appropriate
+// redo (parallel fan-out for ESM/REDO, the backward CTL scan for WPL), then
+// rollback of every transaction the replayed prefix does not commit — which
+// is exactly prefix consistency at the cut LSN.
+func Restore(blobs BlobStore, opts RestoreOptions) (*RestoreResult, error) {
+	boot, err := Bootstrap(blobs, BootstrapOptions{
+		TargetLSN: opts.TargetLSN,
+		NewStore:  opts.NewStore,
+	})
+	if err != nil {
+		return nil, err
+	}
+	store, log := boot.Store, boot.Log
+	backup, cut := boot.Backup, boot.CutLSN
+	fail := func(err error) (*RestoreResult, error) {
+		store.Close()
+		return nil, err
+	}
 
 	srv := server.New(server.Config{
 		Mode:        opts.Mode,
@@ -201,8 +259,8 @@ replay:
 		Server:   srv,
 		Backup:   backup,
 		CutLSN:   cut,
-		Segments: len(chain),
-		Records:  records,
+		Segments: boot.Segments,
+		Records:  boot.Records,
 	}
 	if opts.Finish != nil {
 		srv.Close()

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReplSweepSmoke runs the replication failover sweep for every scheme:
+// record the shipped stream, replay a budget-limited sample of promotion
+// cuts, and fail with a reproduction recipe for each violated failover
+// invariant (promotion diverging from single-node restart, a lost acked
+// commit, a surviving unacked one, a torn object, or a non-idempotent
+// post-promotion restart).
+func TestReplSweepSmoke(t *testing.T) {
+	budget := replayBudget(t)
+	for _, sys := range SweepSystems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := ReplSweep(sys, *sweepSeed, budget)
+			if err != nil {
+				t.Fatalf("repl sweep: %v", err)
+			}
+			if rep.Points < 200 {
+				t.Errorf("only %d shipped records, want >= 200 (workload too small)", rep.Points)
+			}
+			t.Logf("%s: %d shipped records, replayed %d cuts, %d failures",
+				sys.Name, rep.Points, len(rep.Replayed), len(rep.Failures))
+			for _, f := range rep.Failures {
+				t.Errorf("%v", f)
+			}
+		})
+	}
+}
+
+// TestReplSweepStreamDeterministic pins the reproducibility contract: the
+// same (system, seed) records the same stream and journal, so a printed cut
+// replays the same promotion.
+func TestReplSweepStreamDeterministic(t *testing.T) {
+	sys := SweepSystems()[0]
+	runA, err := runReplWorkload(sys, *sweepSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runB, err := runReplWorkload(sys, *sweepSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runA.recs) != len(runB.recs) {
+		t.Fatalf("stream length not deterministic: %d then %d", len(runA.recs), len(runB.recs))
+	}
+	for i := range runA.ends {
+		if runA.ends[i] != runB.ends[i] {
+			t.Fatalf("record %d ends at %d then %d", i, runA.ends[i], runB.ends[i])
+		}
+	}
+	if len(runA.txns) != len(runB.txns) {
+		t.Fatalf("journal length differs: %d vs %d", len(runA.txns), len(runB.txns))
+	}
+	for i := range runA.txns {
+		a, b := runA.txns[i], runB.txns[i]
+		if a.pre != b.pre || a.post != b.post || a.val != b.val || a.parts != b.parts {
+			t.Fatalf("journal entry %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestReplFailureReproString pins that repl-variant failures print the repl
+// replay entry point.
+func TestReplFailureReproString(t *testing.T) {
+	f := &SweepFailure{System: "WPL", Seed: 1, Point: 7, Detail: "x", Variant: "repl"}
+	want := `(reproduce: harness.ReplayReplCut("WPL", 1, 7))`
+	if got := f.Error(); !strings.Contains(got, want) {
+		t.Errorf("repl failure repro = %q, want it to contain %q", got, want)
+	}
+}

@@ -276,7 +276,7 @@ type SweepFailure struct {
 	Seed    int64
 	Point   int64
 	Detail  string
-	Variant string // "" = sharp sweep, "fuzzy" = fuzzy-checkpoint sweep
+	Variant string // "" = sharp sweep, "fuzzy" = fuzzy-checkpoint sweep, "repl" = failover sweep
 }
 
 // Error formats the failure with its reproduction recipe, naming the replay
@@ -285,6 +285,9 @@ func (f *SweepFailure) Error() string {
 	fn := "harness.ReplayCrashPoint"
 	if f.Variant == "fuzzy" {
 		fn = "harness.ReplayFuzzyCrashPoint"
+	}
+	if f.Variant == "repl" {
+		fn = "harness.ReplayReplCut"
 	}
 	return fmt.Sprintf("crash-point failure: system=%s seed=%d point=%d: %s "+
 		"(reproduce: %s(%q, %d, %d))",

@@ -43,6 +43,7 @@ func (Determinism) Check(m *Module, pkgs []*Package, report Reporter) {
 		m.Path + "/internal/recbuf",
 		m.Path + "/internal/lock",
 		m.Path + "/internal/archive",
+		m.Path + "/internal/repl",
 		m.Path + "/internal/wire",
 		m.Path + "/cmd",
 	}

@@ -1,0 +1,203 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/logrec"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// DefaultMaxBatchBytes bounds one fetch response's record payload.
+const DefaultMaxBatchBytes = 256 << 10
+
+// DefaultAckTimeout is how long a semi-sync commit waits for the standby
+// before degrading to async.
+const DefaultAckTimeout = 500 * time.Millisecond
+
+// PrimaryOptions tunes a Primary. The zero value is async shipping.
+type PrimaryOptions struct {
+	Mode          AckMode
+	AckTimeout    time.Duration // semi-sync wait bound (DefaultAckTimeout if 0)
+	MaxBatchBytes int           // per-fetch payload cap (DefaultMaxBatchBytes if 0)
+}
+
+// Primary is the log-shipping side of replication. It serves Fetch against
+// the live WAL, holds truncation behind the standby's cursor through the
+// wal ship gate, and — under AckSemiSync — parks committing sessions until
+// the standby's applied watermark covers their commit record.
+//
+// The gate callback runs inside wal.Truncate under the log mutex, so like
+// the archive gate it reads only atomics and never takes the Primary mutex.
+type Primary struct {
+	log  *wal.Log
+	opts PrimaryOptions
+
+	connected atomic.Bool   // a standby has fetched at least once
+	cursor    atomic.Uint64 // the standby's fetch cursor: truncation floor once connected
+	acked     atomic.Uint64 // standby's applied-and-forced watermark
+
+	fetches     atomic.Int64
+	ackWaits    atomic.Int64
+	ackTimeouts atomic.Int64
+
+	mu   sync.Mutex // guards cond waits; acked itself is atomic
+	cond *sync.Cond
+}
+
+// NewPrimary returns a Primary shipping from log.
+func NewPrimary(log *wal.Log, opts PrimaryOptions) *Primary {
+	if opts.AckTimeout <= 0 {
+		opts.AckTimeout = DefaultAckTimeout
+	}
+	if opts.MaxBatchBytes <= 0 {
+		opts.MaxBatchBytes = DefaultMaxBatchBytes
+	}
+	p := &Primary{log: log, opts: opts}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Wire connects the primary to a server configuration: the wal ship gate
+// (truncation never passes an attached standby's cursor) and, for
+// semi-sync, the CommitAck hook on the commit path. Call before server.New;
+// cfg.Log must be the log the primary ships.
+func (p *Primary) Wire(cfg *server.Config) {
+	if cfg.Log != p.log {
+		panic("repl: Wire with a different log than the primary ships")
+	}
+	p.log.SetShipGate(func(newHead uint64) bool {
+		return !p.connected.Load() || newHead <= p.cursor.Load()
+	})
+	if p.opts.Mode == AckSemiSync {
+		cfg.CommitAck = p.CommitAck
+	}
+}
+
+// Fetch serves one standby pull: record the ack watermark, advance the ship
+// gate's floor to the request cursor, and return every whole stable record
+// from it, up to maxBytes. A cursor below the log head returns ErrGap.
+func (p *Primary) Fetch(from, applied uint64, maxBytes int) (Batch, error) {
+	p.fetches.Add(1)
+	p.recordAck(applied)
+	// Floor before first scan: the gate must hold the head at or below the
+	// cursor from the moment we might serve from it. The floor only moves
+	// forward — a second standby reconnecting from an older cursor races a
+	// deliberate design choice (one standby per primary) and gets ErrGap
+	// once truncation passes it.
+	for {
+		cur := p.cursor.Load()
+		if from <= cur || p.cursor.CompareAndSwap(cur, from) {
+			break
+		}
+	}
+	p.connected.Store(true)
+	if maxBytes <= 0 || maxBytes > p.opts.MaxBatchBytes {
+		maxBytes = p.opts.MaxBatchBytes
+	}
+	var payload []byte
+	next, err := p.log.ScanFrom(from, nil, func(r *logrec.Record) bool {
+		payload = r.Encode(payload)
+		return len(payload) < maxBytes
+	})
+	if errors.Is(err, wal.ErrTruncated) {
+		return Batch{}, fmt.Errorf("%w: cursor %d below log head %d", ErrGap, from, p.log.Head())
+	}
+	if err != nil {
+		return Batch{}, err
+	}
+	return Batch{Next: next, StableEnd: p.log.StableEnd(), Records: payload}, nil
+}
+
+// recordAck advances the applied watermark and wakes semi-sync waiters.
+func (p *Primary) recordAck(applied uint64) {
+	for {
+		cur := p.acked.Load()
+		if applied <= cur {
+			return
+		}
+		if p.acked.CompareAndSwap(cur, applied) {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+	}
+}
+
+// CommitAck is the server commit-path hook (server.Config.CommitAck): block
+// until the standby's watermark covers endLSN or the timeout passes. Called
+// after the commit record is locally stable, under gate.R, so it must not
+// call back into server operations — it only waits on the watermark. Before
+// a standby has connected, commits proceed async (a primary must not hang
+// because its standby has not arrived yet); after a timeout the commit
+// proceeds too, degraded to async and counted.
+func (p *Primary) CommitAck(endLSN uint64) {
+	if !p.connected.Load() || p.acked.Load() >= endLSN {
+		return
+	}
+	p.ackWaits.Add(1)
+	timedOut := false
+	timer := time.AfterFunc(p.opts.AckTimeout, func() {
+		p.mu.Lock()
+		timedOut = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer timer.Stop()
+	p.mu.Lock()
+	for p.acked.Load() < endLSN && !timedOut {
+		p.cond.Wait()
+	}
+	degraded := timedOut && p.acked.Load() < endLSN
+	p.mu.Unlock()
+	if degraded {
+		p.ackTimeouts.Add(1)
+	}
+}
+
+// Detach releases the ship gate (and any semi-sync waiters) when the
+// standby is decommissioned for good — e.g. after it was promoted and this
+// node is being retired. Without it a departed standby would hold log
+// truncation at its last cursor forever.
+func (p *Primary) Detach() {
+	p.connected.Store(false)
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// PrimaryStatus is the shipping-side observability snapshot.
+type PrimaryStatus struct {
+	Mode        string `json:"mode"`
+	Connected   bool   `json:"connected"`
+	CursorLSN   uint64 `json:"cursor_lsn"`
+	AckedLSN    uint64 `json:"acked_lsn"`
+	StableEnd   uint64 `json:"stable_end"`
+	LagBytes    uint64 `json:"lag_bytes"` // stable bytes the standby has not acked
+	Fetches     int64  `json:"fetches"`
+	AckWaits    int64  `json:"ack_waits"`
+	AckTimeouts int64  `json:"ack_timeouts"`
+}
+
+// Status returns a snapshot of shipping progress and lag.
+func (p *Primary) Status() PrimaryStatus {
+	st := PrimaryStatus{
+		Mode:        p.opts.Mode.String(),
+		Connected:   p.connected.Load(),
+		CursorLSN:   p.cursor.Load(),
+		AckedLSN:    p.acked.Load(),
+		StableEnd:   p.log.StableEnd(),
+		Fetches:     p.fetches.Load(),
+		AckWaits:    p.ackWaits.Load(),
+		AckTimeouts: p.ackTimeouts.Load(),
+	}
+	if st.Connected && st.StableEnd > st.AckedLSN {
+		st.LagBytes = st.StableEnd - st.AckedLSN
+	}
+	return st
+}

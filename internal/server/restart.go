@@ -213,6 +213,12 @@ func (sn *Session) Checkpoint() error {
 		// final checkpoint, so there is nothing for this caller to do.
 		return ErrRestarting
 	}
+	if s.standby.Load() {
+		// A standby never originates checkpoint records — it mirrors the
+		// primary's, superblock write and log reclamation included, when they
+		// arrive in the shipped stream (ApplyShipped).
+		return ErrStandby
+	}
 	if s.cfg.FuzzyCheckpoints {
 		return s.checkpointFuzzy(sn)
 	}

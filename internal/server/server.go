@@ -108,6 +108,12 @@ var (
 	// Clean) invoked while Restart holds the server: restart takes its own
 	// final checkpoint, so the caller's work is already covered.
 	ErrRestarting = errors.New("server: restart in progress")
+	// ErrStandby is returned for any operation that would append to the log
+	// on a hot standby. A standby's log is a byte-exact replica of its
+	// primary's stream (internal/repl); a locally generated record would
+	// diverge it. Read-only sessions are served; everything else waits for
+	// promotion.
+	ErrStandby = errors.New("server: standby is read-only until promoted")
 )
 
 // Config configures a Server.
@@ -194,6 +200,20 @@ type Config struct {
 	// referenced within this many buffer-clock ticks of now is skipped.
 	// 0 cleans regardless of recency.
 	CleanerProtect uint64
+	// Standby starts the server as a hot standby: it accepts no client
+	// writes, its log and tables are maintained exclusively by
+	// Session.ApplyShipped replaying the primary's record stream, and
+	// read-only sessions see the replicated state. Session.Promote ends
+	// standby mode by running the normal scheme-specific Restart.
+	Standby bool
+	// CommitAck, when non-nil, runs on the commit path after the commit
+	// record is stable locally, with the LSN just past the commit record.
+	// Semi-sync replication (internal/repl) hooks here to block the commit
+	// until a standby has acknowledged that LSN; because group commit has
+	// already batched the force, one standby ack typically covers the whole
+	// group. The hook runs under the read side of the gate, so it must never
+	// call back into server operations.
+	CommitAck func(endLSN uint64)
 }
 
 // DefaultPoolPages is 36 MB of 8 KB frames, the paper's server memory.
@@ -328,7 +348,8 @@ type Server struct {
 	allocMu  sync.Mutex
 	nextTID  logrec.TID
 	nextPage page.ID
-	commits  int // since last checkpoint
+	roTID    logrec.TID // next standby read-only TID (standbyTIDBase range)
+	commits  int        // since last checkpoint
 
 	stats Stats // atomics
 
@@ -352,6 +373,12 @@ type Server struct {
 	// checkpoint or cleaner pass racing a restart fails fast with
 	// ErrRestarting instead of deadlocking behind the write side.
 	restarting atomic.Bool
+
+	// standby is set while the server is a replication standby (Config.
+	// Standby, cleared by Promote): write entry points fail fast with
+	// ErrStandby and local commits/aborts of read-only sessions finish
+	// without log appends.
+	standby atomic.Bool
 
 	// redoApplied records the most recent restart's per-worker apply counts;
 	// written under gate.W, read under gate.R (ExtendedStats).
@@ -386,6 +413,7 @@ func New(cfg Config) *Server {
 		nextTID:  1,
 		nextPage: 1,
 	}
+	s.standby.Store(cfg.Standby)
 	if cfg.GroupCommitDelay > 0 {
 		s.log.SetGroupCommitDelay(cfg.GroupCommitDelay)
 	}
@@ -566,8 +594,22 @@ func (sn *Session) Begin() logrec.TID {
 	s := sn.s
 	defer s.enter()()
 	s.allocMu.Lock()
-	tid := s.nextTID
-	s.nextTID++
+	var tid logrec.TID
+	if s.standby.Load() {
+		// Standby read-only sessions draw TIDs from a disjoint high range:
+		// the low range belongs to the primary's transactions arriving in
+		// the replicated stream, and a collision would chain shipped records
+		// onto a local reader's ATT entry. nextTID itself stays untouched —
+		// it mirrors the primary through checkpoint records and Restart.
+		if s.roTID == 0 {
+			s.roTID = standbyTIDBase
+		}
+		tid = s.roTID
+		s.roTID++
+	} else {
+		tid = s.nextTID
+		s.nextTID++
+	}
 	s.allocMu.Unlock()
 	t := &txn{
 		tid:      tid,
@@ -593,6 +635,9 @@ func (sn *Session) Lock(tid logrec.TID, pid page.ID, mode lock.Mode) error {
 // and ships it (or its image) with its recovery scheme's normal machinery.
 func (sn *Session) AllocPage(tid logrec.TID) (page.ID, error) {
 	s := sn.s
+	if s.standby.Load() {
+		return 0, ErrStandby
+	}
 	exit := s.enter()
 	if _, ok := s.lookupTxn(tid); !ok {
 		exit()
@@ -771,6 +816,9 @@ func (sn *Session) ShipLog(tid logrec.TID, data []byte) error {
 	if s.cfg.Mode == ModeWPL {
 		return fmt.Errorf("%w: ShipLog under WPL", ErrModeViolation)
 	}
+	if s.standby.Load() {
+		return ErrStandby
+	}
 	recs, err := logrec.DecodeAll(data)
 	if err != nil {
 		return fmt.Errorf("server: bad log page from %v: %w", tid, err)
@@ -863,6 +911,9 @@ func (sn *Session) ShipPage(tid logrec.TID, pid page.ID, data []byte) error {
 	s := sn.s
 	if s.cfg.Mode == ModeREDO {
 		return fmt.Errorf("%w: ShipPage under REDO", ErrModeViolation)
+	}
+	if s.standby.Load() {
+		return ErrStandby
 	}
 	if len(data) != page.Size {
 		return fmt.Errorf("server: shipped page is %d bytes", len(data))
@@ -971,6 +1022,23 @@ func (sn *Session) Commit(tid logrec.TID) error {
 		exit()
 		return fmt.Errorf("%w: %v", ErrNoTxn, tid)
 	}
+	if s.standby.Load() {
+		if t.lastLSN != logrec.NoLSN {
+			// A replicated transaction: its fate is the primary's to decide,
+			// through the shipped stream — never a local client's.
+			exit()
+			return ErrStandby
+		}
+		// Read-only standby session: nothing was logged (writes are refused),
+		// so finish without appending — a standby-side commit record would
+		// diverge the replicated log from the primary's byte stream.
+		s.attMu.Lock()
+		delete(s.att, tid)
+		s.attMu.Unlock()
+		exit()
+		s.locks.ReleaseAll(tid)
+		return nil
+	}
 	c := logrec.NewCommit(tid)
 	c.PrevLSN = t.lastLSN
 	// The commit append, the ATT chain update and (under WPL) the committed
@@ -1006,6 +1074,13 @@ func (sn *Session) Commit(tid logrec.TID) error {
 		// Park until a group flush covers the commit record; the returned
 		// page count is this committer's share of the group's one write.
 		sn.m.LogWrite(s.log.CommitWait(c.LSN + uint64(c.EncodedSize())))
+	}
+	if s.cfg.CommitAck != nil {
+		// Semi-sync replication: the commit record is stable locally; now
+		// wait for a standby to acknowledge the LSN just past it (the shipper
+		// degrades to async on timeout, so this is bounded). Group commit has
+		// already batched the force, so one ack usually covers the group.
+		s.cfg.CommitAck(c.LSN + uint64(c.EncodedSize()))
 	}
 	atomic.AddInt64(&s.stats.Commits, 1)
 	if s.cfg.Mode == ModeWPL {
@@ -1167,6 +1242,19 @@ func (sn *Session) Abort(tid logrec.TID) error {
 	if !ok {
 		exit()
 		return fmt.Errorf("%w: %v", ErrNoTxn, tid)
+	}
+	if s.standby.Load() {
+		if t.lastLSN != logrec.NoLSN {
+			exit()
+			return ErrStandby
+		}
+		// Read-only standby session: release without logging, as in Commit.
+		s.attMu.Lock()
+		delete(s.att, tid)
+		s.attMu.Unlock()
+		exit()
+		s.locks.ReleaseAll(tid)
+		return nil
 	}
 	a := logrec.NewAbort(tid)
 	a.PrevLSN = t.lastLSN

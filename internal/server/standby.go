@@ -1,0 +1,372 @@
+package server
+
+// Hot-standby support (DESIGN.md §14). A standby server's log is a byte-exact
+// replica of its primary's stream: ApplyShipped re-appends each shipped
+// record at its original LSN (logrec encoding is deterministic, so the bytes
+// — CRCs included — are identical) and mirrors the primary's table updates,
+// so at every record boundary the standby holds exactly the state a crashed
+// primary would recover to at that cut. Promotion is then literally
+// crash-then-restart: discard the volatile state and run the scheme's normal
+// Restart over the replicated log and volume.
+//
+// One applier goroutine drives ApplyShipped (records of one log stream are
+// inherently sequential); each call holds the read side of the gate, so the
+// standby's own cleaner, scrubber and read-only sessions interleave under the
+// normal concurrency model, and Promote's Crash/Restart (gate.W) excludes an
+// in-flight apply.
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/logrec"
+	"repro/internal/page"
+)
+
+// standbyTIDBase is the first TID handed to standby read-only sessions. The
+// range is disjoint from any TID a primary can realistically assign, so a
+// shipped record can never collide with a local reader's ATT entry.
+const standbyTIDBase = logrec.TID(1) << 62
+
+// Standby reports whether the server is currently a replication standby.
+func (s *Server) Standby() bool { return s.standby.Load() }
+
+// ApplyShipped replays one record of the primary's log stream. Records must
+// arrive in LSN order from a single goroutine. The record is appended at its
+// original LSN (or recognized as already present, when a cold bootstrap
+// restored part of the stream from the archive) and its effect is applied:
+// updates run through the same pageLSN-conditional redo as restart, ATT/DPT/
+// WPL bookkeeping mirrors the primary's, and checkpoint records additionally
+// mirror the master-record write and the primary's log reclamation, so the
+// standby's ring never fills. The caller is responsible for forcing the log
+// (batch-wise) before reporting the records as applied.
+func (sn *Session) ApplyShipped(r *logrec.Record) error {
+	s := sn.s
+	if s.restarting.Load() {
+		return ErrRestarting
+	}
+	defer s.enter()()
+	if !s.standby.Load() {
+		return fmt.Errorf("%w: ApplyShipped on a non-standby", ErrModeViolation)
+	}
+	size := uint64(r.EncodedSize())
+	end := s.log.End()
+	appendIt := false
+	switch {
+	case r.LSN+size <= end:
+		// Already in the log: the cold-bootstrap replay over a restored
+		// stream (archive.Bootstrap re-appended these at identical LSNs).
+		// Tables and pages still need the record's effects.
+	case r.LSN == end:
+		appendIt = true
+	default:
+		return fmt.Errorf("server: shipped record at LSN %d leaves a gap (log ends at %d)", r.LSN, end)
+	}
+
+	switch r.Type {
+	case logrec.TypeUpdate, logrec.TypeCLR, logrec.TypePageImage:
+		if s.cfg.Mode == ModeWPL && r.Type == logrec.TypePageImage {
+			if err := s.applyShippedWPLImage(sn, r, appendIt); err != nil {
+				return err
+			}
+			s.allocMu.Lock()
+			s.bumpAllocFor(r)
+			s.allocMu.Unlock()
+			return nil
+		}
+		// Append + ATT chain + DPT insert: one attMu section, mirroring
+		// ShipLog/undoApply on the primary.
+		s.attMu.Lock()
+		if appendIt {
+			if err := s.appendShippedLocked(r); err != nil {
+				s.attMu.Unlock()
+				return err
+			}
+		}
+		t := s.shippedTxnLocked(r.TID)
+		t.lastLSN = r.LSN
+		if t.firstLSN == logrec.NoLSN {
+			t.firstLSN = r.LSN
+		}
+		t.pageLSN[r.Page] = r.LSN
+		s.dptMu.Lock()
+		e, ok := s.dpt[r.Page]
+		if !ok {
+			e = dptEntry{rec: r.LSN}
+		}
+		if r.LSN > e.newest {
+			e.newest = r.LSN
+		}
+		s.dpt[r.Page] = e
+		s.dptMu.Unlock()
+		s.attMu.Unlock()
+		// Track the primary's allocation frontier as analysis would, so the
+		// scrubber covers replicated pages and promotion starts from the
+		// right counters even before a checkpoint arrives.
+		s.allocMu.Lock()
+		s.bumpAllocFor(r)
+		s.allocMu.Unlock()
+		// Repeat history, conditional on the page LSN — identical to restart
+		// redo, and idempotent over a bootstrap-restored (possibly newer,
+		// fuzzy-backup) image.
+		_, err := s.redoApplyOne(sn, r)
+		return err
+
+	case logrec.TypeCommit:
+		s.attMu.Lock()
+		if appendIt {
+			if err := s.appendShippedLocked(r); err != nil {
+				s.attMu.Unlock()
+				return err
+			}
+		}
+		t := s.att[r.TID]
+		if t != nil {
+			t.lastLSN = r.LSN
+		}
+		if s.cfg.Mode == ModeWPL && t != nil {
+			commitEnd := r.LSN + size
+			s.wplMu.Lock()
+			for _, pid := range t.wplPages {
+				for e := s.wpl[pid]; e != nil; e = e.prev {
+					if e.tid == r.TID {
+						e.committed = true
+						e.commitEnd = commitEnd
+					}
+				}
+			}
+			s.wplMu.Unlock()
+		}
+		s.attMu.Unlock()
+		if s.cfg.Mode == ModeWPL && t != nil {
+			s.wplCommit(sn, t)
+		}
+		s.attMu.Lock()
+		delete(s.att, r.TID)
+		s.attMu.Unlock()
+		return nil
+
+	case logrec.TypeAbort:
+		s.attMu.Lock()
+		if appendIt {
+			if err := s.appendShippedLocked(r); err != nil {
+				s.attMu.Unlock()
+				return err
+			}
+		}
+		t := s.att[r.TID]
+		if t != nil {
+			t.lastLSN = r.LSN
+		}
+		s.attMu.Unlock()
+		// ESM/REDO: the primary's undo arrives as CLRs in the stream; under
+		// WPL abort-by-ignoring unlinks the copies here, as on the primary.
+		if s.cfg.Mode == ModeWPL && t != nil {
+			s.wplAbort(sn, t)
+		}
+		return nil
+
+	case logrec.TypeEnd:
+		s.attMu.Lock()
+		if appendIt {
+			if err := s.appendShippedLocked(r); err != nil {
+				s.attMu.Unlock()
+				return err
+			}
+		}
+		delete(s.att, r.TID)
+		s.attMu.Unlock()
+		return nil
+
+	case logrec.TypeCheckpoint:
+		if appendIt {
+			s.attMu.Lock()
+			err := s.appendShippedLocked(r)
+			s.attMu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		return s.applyShippedCheckpoint(sn, r)
+
+	default:
+		return fmt.Errorf("server: cannot apply shipped %v record", r.Type)
+	}
+}
+
+// appendShippedLocked appends r, asserting it lands at its original LSN.
+// Caller holds attMu (or is a checkpoint append, where the primary appends
+// outside attMu too). Append assigns r.LSN = next and the caller checked
+// next == r.LSN, so the assert only fires on a racing local append — which
+// the standby guards exist to prevent.
+func (s *Server) appendShippedLocked(r *logrec.Record) error {
+	want := r.LSN
+	got, err := s.log.Append(r)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("server: shipped record for LSN %d appended at %d (log diverged)", want, got)
+	}
+	return nil
+}
+
+// shippedTxnLocked finds or creates the ATT entry for a shipped record's
+// transaction. Caller holds attMu.
+func (s *Server) shippedTxnLocked(tid logrec.TID) *txn {
+	t := s.att[tid]
+	if t == nil {
+		t = &txn{tid: tid, lastLSN: logrec.NoLSN, firstLSN: logrec.NoLSN, pageLSN: make(map[page.ID]uint64)}
+		s.att[tid] = t
+	}
+	return t
+}
+
+// applyShippedWPLImage mirrors wplShip for a shipped whole-page image: ATT
+// chain and WPL-table insert in one attMu section. The image is not cached
+// or written home — the no-steal rule stands, and reads reload the newest
+// copy from the log until its commit record arrives.
+func (s *Server) applyShippedWPLImage(sn *Session, r *logrec.Record, appendIt bool) error {
+	s.attMu.Lock()
+	defer s.attMu.Unlock()
+	if appendIt {
+		if err := s.appendShippedLocked(r); err != nil {
+			return err
+		}
+	}
+	t := s.shippedTxnLocked(r.TID)
+	t.lastLSN = r.LSN
+	if t.firstLSN == logrec.NoLSN {
+		t.firstLSN = r.LSN
+	}
+	t.wplPages = append(t.wplPages, r.Page)
+	s.wplMu.Lock()
+	s.wpl[r.Page] = &wplEntry{pid: r.Page, lsn: r.LSN, tid: r.TID, prev: s.wpl[r.Page]}
+	s.wplMu.Unlock()
+	return nil
+}
+
+// applyShippedCheckpoint mirrors the primary's checkpoint side effects from
+// the record's payload: the master-record write (so promotion's Restart finds
+// the same newest checkpoint a crashed primary's would), the allocation
+// counters, and the log reclamation — the same head computation as
+// checkpointCore, over the logged snapshot instead of live tables, so the
+// standby's ring reclaims in lockstep with the primary's.
+func (s *Server) applyShippedCheckpoint(sn *Session, r *logrec.Record) error {
+	c, err := decodeCkpt(r.After)
+	if err != nil {
+		return fmt.Errorf("server: shipped checkpoint at %d: %w", r.LSN, err)
+	}
+	// The master record must never name an unstable checkpoint record.
+	sn.meter().LogWrite(s.log.Force())
+	sh := s.pool.Lock(superblockPage)
+	err = s.writeSuperblock(sn, superblock{
+		checkpointLSN: r.LSN,
+		nextPage:      c.nextPage,
+		nextTID:       c.nextTID,
+		hasCheckpoint: true,
+	})
+	sh.Unlock()
+	if err != nil {
+		return err
+	}
+	atomic.AddInt64(&s.stats.Checkpoints, 1)
+	s.allocMu.Lock()
+	s.nextPage = maxPID(s.nextPage, c.nextPage)
+	s.nextTID = maxTID(s.nextTID, c.nextTID)
+	s.allocMu.Unlock()
+	if s.cfg.Mode == ModeWPL {
+		// Copies committed before the replicated stream began (a cold
+		// bootstrap) have no commit record in the stream; the checkpoint's
+		// logged table is the only witness. Merge them — unless a newer copy
+		// from the stream supersedes — so standby reads reload the committed
+		// version; promotion's Restart performs the same merge itself.
+		s.wplMu.Lock()
+		for _, w := range c.wpl {
+			if !w.committed {
+				continue
+			}
+			if cur := s.wpl[w.pid]; cur != nil && cur.lsn >= w.lsn {
+				continue
+			}
+			s.wpl[w.pid] = &wplEntry{pid: w.pid, lsn: w.lsn, tid: w.tid, committed: true}
+		}
+		s.wplMu.Unlock()
+	}
+	head := r.LSN
+	if c.beginLSN > 0 {
+		head = minUint64(head, c.beginLSN)
+	}
+	for _, t := range c.txns {
+		if t.firstLSN != logrec.NoLSN && t.firstLSN < head {
+			head = t.firstLSN
+		}
+	}
+	for _, w := range c.wpl {
+		if w.lsn < head {
+			head = w.lsn
+		}
+	}
+	for _, d := range c.dpt {
+		if d.rec < head {
+			head = d.rec
+		}
+	}
+	// That head is sound for the primary's volume, not necessarily this one:
+	// pages the primary already cleaned are out of its logged DPT, but the
+	// standby's flush timing is its own, so the same pages may still be dirty
+	// only here, with their redo records below head. Write them home before
+	// reclaiming (the standby owes those writes eventually anyway), then pin
+	// the truncation floor at whatever remains dirty — hot-skipped or
+	// non-resident pages — exactly as the primary pins its own fuzzy head.
+	s.dptMu.Lock()
+	orphans := make([]page.ID, 0, len(s.dpt))
+	for pid, e := range s.dpt {
+		if e.rec < head {
+			orphans = append(orphans, pid)
+		}
+	}
+	s.dptMu.Unlock()
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, pid := range orphans {
+		if _, err := s.cleanOne(sn, pid); err != nil {
+			return err
+		}
+	}
+	floor := uint64(0)
+	s.dptMu.Lock()
+	for _, e := range s.dpt {
+		if floor == 0 || e.rec < floor {
+			floor = e.rec
+		}
+	}
+	s.dptMu.Unlock()
+	s.log.SetTruncateFloor(floor)
+	if head > s.log.Head() {
+		return s.log.Truncate(head)
+	}
+	return nil
+}
+
+// Promote ends standby mode: the server discards its volatile state and runs
+// the normal scheme-specific Restart over the replicated log and volume —
+// promotion IS crash-then-restart, which is what makes the promoted state
+// byte-equivalent to a single-node restart at the same log cut. The caller
+// must have quiesced the applier (no ApplyShipped in flight or after); the
+// standby's own background cleaner and scrubber are excluded by Restart's
+// gate.W + ErrRestarting fast-fail, like any restart. Unforced shipped
+// records are discarded, exactly as a crashed primary would lose them — and
+// they were never acknowledged, since acks cover only forced batches.
+func (sn *Session) Promote() error {
+	s := sn.s
+	if !s.standby.Load() {
+		return fmt.Errorf("%w: promote on a non-standby", ErrModeViolation)
+	}
+	s.Crash()
+	if err := sn.Restart(); err != nil {
+		return err
+	}
+	s.standby.Store(false)
+	return nil
+}

@@ -46,6 +46,7 @@ type Log struct {
 	limiter   func(proposed uint64) uint64
 	truncGate func() bool
 	archGate  func(newHead uint64) bool
+	shipGate  func(newHead uint64) bool
 	// floor, when non-zero, bounds how far Truncate may advance the head:
 	// records at or above floor are still needed (fuzzy checkpoints keep the
 	// oldest dirty-page recLSN here, since restart redo must scan from it).
@@ -460,6 +461,22 @@ func (l *Log) SetArchiveGate(fn func(newHead uint64) bool) {
 	l.archGate = fn
 }
 
+// SetShipGate installs fn, called (with the log lock held) whenever Truncate
+// would advance the head, with the proposed new head. Returning false defers
+// the truncation exactly like the archive gate: the head stays put, Truncate
+// reports success, and no stable-storage event is counted, because the
+// head-pointer write is never attempted. The replication shipper installs a
+// gate refusing any head above its shipped-up-to LSN, so the ring can never
+// reclaim records a connected standby has not fetched yet — the same
+// cannot-outrun-stable-state choke point as the archive gate, with the
+// standby's applied LSN standing in for archivedUpTo. Consulted after the
+// archive gate and before the truncate gate. A nil fn removes the gate.
+func (l *Log) SetShipGate(fn func(newHead uint64) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.shipGate = fn
+}
+
 // SetTruncateFloor sets the lowest LSN truncation must retain (0 removes the
 // floor). Truncate clamps its head to the floor instead of failing, so a
 // caller computing a head from stale state cannot reclaim records restart
@@ -499,6 +516,9 @@ func (l *Log) Truncate(newHead uint64) error {
 	}
 	if l.archGate != nil && !l.archGate(newHead) {
 		return nil // deferred: the archiver has not drained this span yet
+	}
+	if l.shipGate != nil && !l.shipGate(newHead) {
+		return nil // deferred: a standby has not fetched this span yet
 	}
 	if l.truncGate != nil && !l.truncGate() {
 		return nil // swallowed: the head-pointer write never reached disk
@@ -643,6 +663,71 @@ func (l *Log) Scan(from uint64, fn func(*logrec.Record) bool) error {
 		lsn += uint64(r.EncodedSize())
 	}
 	return nil
+}
+
+// ScanFrom is the tail-follow scan used by log shipping: it calls fn for
+// every record wholly stable in [from, StableEnd), in LSN order, and returns
+// the boundary just past the last record delivered — the LSN at which a later
+// call resumes once more of the tail has been forced. Unlike Scan it never
+// delivers the volatile tail (shipping a record the primary could still lose
+// in a crash would let a standby get ahead of its primary), it re-acquires
+// the log lock per record so a long catch-up scan never blocks appenders or
+// the group-commit flusher, and it stops promptly when cancel is closed.
+//
+// Each delivered record is staged in a buffer private to this call, so —
+// unlike Scan — the record stays valid while fn runs without the log lock
+// held; it is still invalidated by the next record, so callers that retain
+// one must Clone it (Encode-ing it into an outgoing batch is the typical,
+// safe use). fn returning false stops the scan after the current record; the
+// returned resume LSN then points just past it, so nothing is skipped or
+// redelivered.
+//
+// If the resume point has been reclaimed under the caller (the truncation
+// race: the shipper fell behind and no gate held the head back), ScanFrom
+// returns ErrTruncated with the same resume LSN — the caller must
+// re-bootstrap from an archive rather than resume.
+func (l *Log) ScanFrom(from uint64, cancel <-chan struct{}, fn func(*logrec.Record) bool) (uint64, error) {
+	lsn := from
+	var scratch []byte
+	for {
+		select {
+		case <-cancel:
+			return lsn, nil
+		default:
+		}
+		l.mu.Lock()
+		if lsn < l.head {
+			head := l.head
+			l.mu.Unlock()
+			return lsn, fmt.Errorf("%w: scan from %d < head %d", ErrTruncated, lsn, head)
+		}
+		if lsn+logrec.HeaderSize > l.flushed {
+			l.mu.Unlock()
+			return lsn, nil // header not fully stable: end of shippable log
+		}
+		r, err := l.decodeAt(lsn, &scratch)
+		if err == nil && lsn+uint64(r.EncodedSize()) > l.flushed {
+			// The record decodes (its bytes are in the ring) but its tail is
+			// still volatile — a mid-batch cut leaves the durability boundary
+			// inside a record. Stop before it; the next call picks it up once
+			// a flush covers it.
+			err = ErrBeyondEnd
+		}
+		if errors.Is(err, ErrTorn) || errors.Is(err, ErrBeyondEnd) {
+			l.mu.Unlock()
+			return lsn, nil
+		}
+		if err != nil {
+			l.mu.Unlock()
+			return lsn, err
+		}
+		l.mu.Unlock()
+		cont := fn(r)
+		lsn += uint64(r.EncodedSize())
+		if !cont {
+			return lsn, nil
+		}
+	}
 }
 
 // ScanBackward collects every stable record in [from, StableEnd) and calls

@@ -45,6 +45,13 @@ type RetryPolicy struct {
 	Seed        int64         // jitter PRNG seed, for reproducible schedules
 	// Sleep is replaceable for tests; nil means time.Sleep.
 	Sleep func(time.Duration)
+	// FailoverAddr, when non-empty, names the hot standby: the first time an
+	// operation exhausts its attempt budget on connection-class failures (or
+	// a Commit turns ambiguous), the client is redirected there — the standby
+	// is presumed promoted once the primary stops answering — and the
+	// operation gets one more full attempt budget. Requires an inner Service
+	// with a Redirect method (TCPClient); ignored otherwise.
+	FailoverAddr string
 }
 
 // retrier wraps a Service with RetryPolicy semantics. One client issues one
@@ -54,6 +61,8 @@ type retrier struct {
 	pol   RetryPolicy
 	// splitmix64 jitter source: reproducible from Seed across Go versions.
 	rngState uint64
+	// failedOver is set after the one-shot redirect to FailoverAddr.
+	failedOver bool
 }
 
 // WithRetry wraps svc so every operation is attempted up to
@@ -129,22 +138,45 @@ const (
 // do runs op under the retry loop with the given re-send policy.
 func (c *retrier) do(policy int, op func() error) error {
 	var err error
-	for n := 0; n < c.pol.MaxAttempts; n++ {
-		if n > 0 {
-			c.backoff(n)
-		}
-		err = op()
-		if !transient(err) {
-			return err
-		}
-		if policy != resendAlways && !errors.Is(err, faultinject.ErrNotDelivered) {
-			if policy == resendCommit {
-				return fmt.Errorf("%w: %v", ErrCommitOutcomeUnknown, err)
+	for {
+		for n := 0; n < c.pol.MaxAttempts; n++ {
+			if n > 0 {
+				c.backoff(n)
 			}
-			return err
+			err = op()
+			if !transient(err) {
+				return err
+			}
+			if policy != resendAlways && !errors.Is(err, faultinject.ErrNotDelivered) {
+				// The op may have reached the dead primary: never re-send it,
+				// but do redirect so the caller's *next* operations (the
+				// re-reads that resolve the ambiguity) reach the standby.
+				c.maybeFailover()
+				if policy == resendCommit {
+					return fmt.Errorf("%w: %v", ErrCommitOutcomeUnknown, err)
+				}
+				return err
+			}
+		}
+		if !c.maybeFailover() {
+			return fmt.Errorf("%w: %d attempts, last error: %v", ErrServerUnavailable, c.pol.MaxAttempts, err)
 		}
 	}
-	return fmt.Errorf("%w: %d attempts, last error: %v", ErrServerUnavailable, c.pol.MaxAttempts, err)
+}
+
+// maybeFailover performs the one-shot redirect to FailoverAddr, reporting
+// whether it did (and the caller gets another attempt budget).
+func (c *retrier) maybeFailover() bool {
+	if c.failedOver || c.pol.FailoverAddr == "" {
+		return false
+	}
+	r, ok := c.inner.(interface{ Redirect(string) })
+	if !ok {
+		return false
+	}
+	c.failedOver = true
+	r.Redirect(c.pol.FailoverAddr)
+	return true
 }
 
 // Begin implements Service.

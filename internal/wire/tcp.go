@@ -27,6 +27,7 @@ import (
 	"repro/internal/lock"
 	"repro/internal/logrec"
 	"repro/internal/page"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -45,6 +46,8 @@ const (
 	opBackup    // take an online fuzzy backup (management, not part of Service)
 	opArchStats // fetch archive.Status as JSON (management, not part of Service)
 	opScrub     // verify/repair stored pages now (management, not part of Service)
+	opReplFetch // standby pull of stable WAL records (management, not part of Service)
+	opPromote   // promote a standby to primary (management, not part of Service)
 )
 
 // opName returns the stable human-readable name of an op code, used as the
@@ -77,6 +80,10 @@ func opName(op byte) string {
 		return "archive-status"
 	case opScrub:
 		return "scrub"
+	case opReplFetch:
+		return "repl-fetch"
+	case opPromote:
+		return "promote"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}
@@ -124,6 +131,8 @@ const (
 	stNoTxn
 	stFaultAbort // a disk fault hit this request; the transaction was aborted
 	stCorrupt    // a corrupt page was detected and could not be repaired
+	stReplGap    // repl fetch cursor below the primary's log head (re-bootstrap)
+	stStandby    // this server is a standby; writes must go to the primary
 )
 
 // ErrTxnAbortedByFault is the client-side form of stFaultAbort: the server
@@ -203,6 +212,12 @@ type ServeOpts struct {
 	// ops (qsctl backup / archive-status) and adds archiver progress to
 	// opStats responses.
 	Archive *archive.Archiver
+	// Repl, when non-nil, serves opReplFetch (a standby pulling this
+	// primary's WAL) and adds shipping progress to opStats responses.
+	Repl *repl.Primary
+	// Standby, when non-nil, marks this daemon a hot standby: opPromote fails
+	// it over to primary, and opStats responses carry apply progress.
+	Standby *repl.Standby
 }
 
 // DaemonStats is the opStats response: the server's extended counters plus,
@@ -210,6 +225,10 @@ type ServeOpts struct {
 type DaemonStats struct {
 	server.StatsX
 	Archive *archive.Status `json:"archive,omitempty"`
+	// Repl is the primary-side shipping snapshot when the daemon ships its
+	// WAL to a standby; Standby is the apply snapshot when the daemon is one.
+	Repl    *repl.PrimaryStatus `json:"repl,omitempty"`
+	Standby *repl.StandbyStatus `json:"standby,omitempty"`
 	// Ops counts requests served per wire op since the daemon started.
 	Ops map[string]int64 `json:"ops,omitempty"`
 }
@@ -271,7 +290,11 @@ func serveConn(conn net.Conn, srv *server.Server, opts ServeOpts, ops *opCounter
 		if f.op == opFaults {
 			status, payload = handleFaults(opts.Faults, f.payload)
 		} else if f.op == opStats {
-			status, payload = handleStats(srv, opts.Archive, ops)
+			status, payload = handleStats(srv, opts, ops)
+		} else if f.op == opReplFetch {
+			status, payload = handleReplFetch(opts.Repl, f.payload)
+		} else if f.op == opPromote {
+			status, payload = handlePromote(opts.Standby)
 		} else if f.op == opBackup {
 			status, payload = handleBackup(opts.Archive)
 		} else if f.op == opArchStats {
@@ -338,11 +361,19 @@ func handleFaults(fs *faultinject.Store, payload []byte) (byte, []byte) {
 // handleStats serves the opStats management op: the server's extended
 // counter snapshot, JSON-encoded (a management op, so a self-describing
 // format beats another hand-rolled binary layout).
-func handleStats(srv *server.Server, arch *archive.Archiver, ops *opCounters) (byte, []byte) {
+func handleStats(srv *server.Server, opts ServeOpts, ops *opCounters) (byte, []byte) {
 	ds := DaemonStats{StatsX: srv.ExtendedStats(), Ops: ops.snapshot()}
-	if arch != nil {
-		st := arch.Status()
+	if opts.Archive != nil {
+		st := opts.Archive.Status()
 		ds.Archive = &st
+	}
+	if opts.Repl != nil {
+		st := opts.Repl.Status()
+		ds.Repl = &st
+	}
+	if opts.Standby != nil {
+		st := opts.Standby.Status()
+		ds.Standby = &st
 	}
 	out, err := json.Marshal(ds)
 	if err != nil {
@@ -389,6 +420,42 @@ func handleScrub(sn *server.Session, payload []byte) (byte, []byte) {
 	return stOK, out
 }
 
+// handleReplFetch serves the opReplFetch management op: one standby pull.
+// Payload: [u64 from][u64 applied][u32 maxBytes]; response payload is
+// repl.EncodeBatch. A cursor the primary has already reclaimed comes back as
+// stReplGap so the standby sees repl.ErrGap and re-bootstraps.
+func handleReplFetch(p *repl.Primary, payload []byte) (byte, []byte) {
+	if p == nil {
+		return stError, []byte("wire: replication not enabled on this server (start with -repl)")
+	}
+	if len(payload) < 20 {
+		return stError, []byte("wire: short repl-fetch request")
+	}
+	from := binary.LittleEndian.Uint64(payload)
+	applied := binary.LittleEndian.Uint64(payload[8:])
+	maxBytes := int(binary.LittleEndian.Uint32(payload[16:]))
+	b, err := p.Fetch(from, applied, maxBytes)
+	if err != nil {
+		if errors.Is(err, repl.ErrGap) {
+			return stReplGap, []byte(err.Error())
+		}
+		return stError, []byte(err.Error())
+	}
+	return stOK, repl.EncodeBatch(b)
+}
+
+// handlePromote serves the opPromote management op: quiesce the apply loop
+// and fail the standby over to a writable primary (qsctl promote).
+func handlePromote(sb *repl.Standby) (byte, []byte) {
+	if sb == nil {
+		return stError, []byte("wire: this server is not a standby (start with -replica-of)")
+	}
+	if err := sb.Promote(); err != nil {
+		return stError, []byte(err.Error())
+	}
+	return stOK, nil
+}
+
 // handleArchStats serves the opArchStats management op.
 func handleArchStats(arch *archive.Archiver) (byte, []byte) {
 	if arch == nil {
@@ -412,6 +479,8 @@ func dispatch(sn *server.Session, f frame) (byte, []byte) {
 			return stFaultAbort, []byte(err.Error())
 		case errors.Is(err, disk.ErrCorruptPage):
 			return stCorrupt, []byte(err.Error())
+		case errors.Is(err, server.ErrStandby):
+			return stStandby, []byte(err.Error())
 		default:
 			return stError, []byte(err.Error())
 		}
@@ -564,6 +633,10 @@ func (c *TCPClient) call(f frame) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrTxnAbortedByFault, payload)
 	case stCorrupt:
 		return nil, fmt.Errorf("%w: %s", disk.ErrCorruptPage, payload)
+	case stReplGap:
+		return nil, fmt.Errorf("%w: %s", repl.ErrGap, payload)
+	case stStandby:
+		return nil, fmt.Errorf("%w: %s", server.ErrStandby, payload)
 	default:
 		return nil, errors.New(string(payload))
 	}
@@ -628,6 +701,37 @@ func (c *TCPClient) Scrub(limit int) (server.ScrubReport, error) {
 		return server.ScrubReport{}, fmt.Errorf("wire: bad scrub response: %w", err)
 	}
 	return report, nil
+}
+
+// ReplFetch pulls one batch of stable WAL records from a primary daemon —
+// the wire form of repl.FetchFunc, so a standby daemon can feed
+// repl.NewStandby with c.ReplFetch directly.
+func (c *TCPClient) ReplFetch(from, applied uint64, maxBytes int) (repl.Batch, error) {
+	var payload [20]byte
+	binary.LittleEndian.PutUint64(payload[0:], from)
+	binary.LittleEndian.PutUint64(payload[8:], applied)
+	binary.LittleEndian.PutUint32(payload[16:], uint32(maxBytes))
+	out, err := c.call(frame{op: opReplFetch, payload: payload[:]})
+	if err != nil {
+		return repl.Batch{}, err
+	}
+	return repl.DecodeBatch(out)
+}
+
+// Promote asks a standby daemon to fail over to primary (qsctl promote).
+func (c *TCPClient) Promote() error {
+	_, err := c.call(frame{op: opPromote})
+	return err
+}
+
+// Redirect points the client at a different server address — the failover
+// hook (RetryPolicy.FailoverAddr): the broken connection is dropped and the
+// next call dials addr instead. Only meaningful for clients created by Dial.
+func (c *TCPClient) Redirect(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropConnLocked()
+	c.addr = addr
 }
 
 // ArchiveStatus fetches the daemon's archiver snapshot (qsctl archive-status).
