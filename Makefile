@@ -14,18 +14,30 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke bench-commit bench-ckpt race-repl repl-sweep-smoke bench-repl
+.PHONY: check vet lint lint-fixtures build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke bench-commit bench-ckpt race-repl repl-sweep-smoke bench-repl
 
-check: vet lint build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke race-repl repl-sweep-smoke
+check: vet lint lint-fixtures build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke race-repl repl-sweep-smoke
 
 vet:
 	$(GO) vet ./...
 
 # qslint: latch order (§S9), WAL layering / write-ahead order, sweep
-# determinism, stable-storage error discipline. `-json` emits machine-
-# readable diagnostics for tooling.
+# determinism, stable-storage error discipline, and the §15 dataflow
+# protocol analyzers (force-before-ack, latch-io, goroutine-lifecycle,
+# sentinel-errors) — over every package including cmd/, plus the harness's
+# in-package test files (-tests). Fails on any finding the checked-in
+# baseline does not cover, and on stale baseline entries; the JSON report
+# is left in lint-report.json for tooling either way.
 lint:
-	$(GO) run ./cmd/qslint .
+	$(GO) run ./cmd/qslint -tests -baseline lint-baseline.json -json . > lint-report.json
+
+# The analyzer acceptance corpus: every testdata fixture's want comments,
+# plus the seeded-violation tests (a planted latch inversion, an
+# unforced-ack path, a latched force, a leaked goroutine, a == sentinel
+# comparison — each must be caught, proving the suite cannot silently
+# lose a detector).
+lint-fixtures:
+	$(GO) test ./internal/lint/ -count=1
 
 build:
 	$(GO) build ./...

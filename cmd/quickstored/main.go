@@ -194,6 +194,13 @@ func main() {
 		}()
 		log.Printf("hot standby following %s", *replicaOf)
 	}
+	// The periodic archiver goroutine is stopped (and joined) before the
+	// final drain, so the two never race on the log cursor.
+	archStop := make(chan struct{})
+	archDone := make(chan struct{})
+	if arch == nil {
+		close(archDone)
+	}
 	if arch != nil {
 		// The in-memory log restarts its LSN space every process start, so
 		// each archiver generation begins with a base backup: everything a
@@ -205,9 +212,17 @@ func main() {
 		log.Printf("archiving to %s (generation %d, base backup of %d pages at LSN %d)",
 			*archDir, arch.Generation(), info.Pages, info.End)
 		go func() {
-			for range time.Tick(*archInt) {
-				if err := arch.Drain(); err != nil {
-					log.Printf("archiver: %v", err)
+			defer close(archDone)
+			t := time.NewTicker(*archInt)
+			defer t.Stop()
+			for {
+				select {
+				case <-archStop:
+					return
+				case <-t.C:
+					if err := arch.Drain(); err != nil {
+						log.Printf("archiver: %v", err)
+					}
 				}
 			}
 		}()
@@ -250,6 +265,8 @@ func main() {
 			log.Printf("checkpoint failed: %v", err)
 		}
 		if arch != nil {
+			close(archStop)
+			<-archDone
 			if err := arch.Drain(); err != nil {
 				log.Printf("final archive drain failed: %v", err)
 			}

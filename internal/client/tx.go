@@ -1,6 +1,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -302,7 +303,7 @@ func (tx *Tx) tryAllocateOn(pid page.ID, size int) (page.OID, error, bool) {
 		return page.NilOID, err, true
 	}
 	slot, err := pg.Allocate(size)
-	if err == page.ErrPageFull {
+	if errors.Is(err, page.ErrPageFull) {
 		return page.NilOID, nil, false
 	}
 	if err != nil {

@@ -1,0 +1,105 @@
+package lint
+
+// Suppression baselines. Adopting a new analyzer on a grown codebase means
+// a burst of findings that cannot all be fixed in the adopting change; a
+// baseline file freezes the accepted debt so `make lint` can gate on "no
+// NEW diagnostics" from day one. The file is checked in, human-reviewable
+// JSON, and strict in both directions: a diagnostic not in the baseline
+// fails the build (fresh debt), and a baseline entry no diagnostic matches
+// fails too (stale entry — the debt was paid, so the file must shrink).
+// Stale-entry strictness is what keeps a baseline from becoming a
+// permanent amnesty list.
+//
+// Matching is by (analyzer, file, normalized message): line numbers are
+// deliberately excluded — they churn with every unrelated edit — and digit
+// runs inside the message (line references, counts) are normalized to "#"
+// for the same reason. Multiset semantics handle several identical
+// findings in one file.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// BaselineEntry is one accepted diagnostic.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"` // stored normalized (digit runs → #)
+}
+
+var digitRun = regexp.MustCompile(`[0-9]+`)
+
+// normalizeMessage makes a diagnostic message stable across line-number
+// and count churn.
+func normalizeMessage(msg string) string {
+	return digitRun.ReplaceAllString(msg, "#")
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+func entryFor(d Diagnostic) BaselineEntry {
+	return BaselineEntry{Analyzer: d.Analyzer, File: d.File, Message: normalizeMessage(d.Message)}
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline:
+// the zero state and "no baseline yet" behave identically.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// WriteBaseline writes the diagnostics as a fresh baseline, sorted and
+// normalized, one entry per finding.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	entries := make([]BaselineEntry, 0, len(diags))
+	for _, d := range diags {
+		entries = append(entries, entryFor(d))
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key() < entries[j].key() })
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline splits diags into fresh findings (not covered by the
+// baseline) and reports stale baseline entries (covered nothing). Multiset
+// matching: two identical findings need two entries.
+func ApplyBaseline(entries []BaselineEntry, diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	budget := make(map[string]int, len(entries))
+	for _, e := range entries {
+		budget[e.key()]++
+	}
+	for _, d := range diags {
+		k := entryFor(d).key()
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range entries {
+		if budget[e.key()] > 0 {
+			budget[e.key()]--
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

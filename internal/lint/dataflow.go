@@ -1,0 +1,91 @@
+package lint
+
+// A small forward abstract-interpretation engine over the CFG (DESIGN.md
+// §15). An analyzer supplies the lattice (bottom element, merge) and a
+// transfer function; the engine runs the usual worklist iteration to a
+// fixed point and hands back the fact at every reachable block's entry.
+//
+// Diagnostics are NOT emitted during fixpoint iteration — a block may be
+// visited many times as facts refine. Clients call Replay afterwards: one
+// final deterministic pass over each reachable block with its fixed entry
+// fact, during which the transfer function (now given report=true) speaks.
+
+import "go/ast"
+
+// flow is one dataflow problem. T is the fact type (facts flow forward,
+// merging at join points).
+type flow[T any] struct {
+	bottom func() T                   // fact at function entry
+	clone  func(T) T                  // defensive copy for branching
+	merge  func(dst, src T) (T, bool) // join; reports whether dst changed
+	// transfer interprets one CFG node. report is false during fixpoint
+	// iteration and true during the final replay pass.
+	transfer func(n ast.Node, fact T, report bool) T
+}
+
+// run iterates to a fixed point and returns the entry fact of every
+// reachable block. Unreachable blocks (dead code after return/break) have
+// no entry.
+func runFlow[T any](c *CFG, fl flow[T]) map[*Block]T {
+	in := make(map[*Block]T, len(c.Blocks))
+	in[c.Entry] = fl.bottom()
+	work := []*Block{c.Entry}
+	queued := map[*Block]bool{c.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		fact := fl.clone(in[b])
+		for _, n := range b.Nodes {
+			fact = fl.transfer(n, fact, false)
+		}
+		for _, succ := range b.Succs {
+			cur, seen := in[succ]
+			var changed bool
+			if !seen {
+				in[succ] = fl.clone(fact)
+				changed = true
+			} else {
+				in[succ], changed = fl.merge(cur, fact)
+			}
+			if changed && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// replay re-runs the transfer function once per reachable block with
+// report=true, in deterministic block-creation order.
+func replayFlow[T any](c *CFG, fl flow[T], in map[*Block]T) {
+	for _, b := range c.Blocks {
+		fact, ok := in[b]
+		if !ok {
+			continue
+		}
+		fact = fl.clone(fact)
+		for _, n := range b.Nodes {
+			fact = fl.transfer(n, fact, true)
+		}
+	}
+}
+
+// forEachCall visits every call expression under n in pre-order, skipping
+// function-literal bodies (they execute on another goroutine or at an
+// unknown later time, under their own abstract state).
+func forEachCall(n ast.Node, f func(*ast.CallExpr)) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			f(x)
+		}
+		return true
+	})
+}

@@ -69,6 +69,10 @@ func All() []Analyzer {
 		WALDiscipline{},
 		Determinism{},
 		ErrCheck{},
+		ForceAck{},
+		LatchIO{},
+		Goroutines{},
+		Sentinels{},
 	}
 }
 

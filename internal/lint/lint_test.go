@@ -190,11 +190,128 @@ func TestSeededLatchInversion(t *testing.T) {
 	}
 }
 
+// seededFixture loads one fixture package and runs a single analyzer
+// over it, returning that analyzer's diagnostics.
+func seededFixture(t *testing.T, name string, a Analyzer) []Diagnostic {
+	t.Helper()
+	m, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := m.LoadDirAs(dir, fixtureImportPath(t, dir, m.Path, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Diagnostic
+	for _, d := range Run(m, []*Package{pkg}, []Analyzer{a}) {
+		if d.Analyzer == a.Name() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// requireSeeded asserts that at least one diagnostic carries the marker
+// substring — the analyzer-specific proof that the planted violation was
+// the thing caught.
+func requireSeeded(t *testing.T, diags []Diagnostic, marker string) {
+	t.Helper()
+	for _, d := range diags {
+		if strings.Contains(d.Message, marker) {
+			return
+		}
+	}
+	t.Fatalf("seeded violation not caught (no diagnostic contains %q); got %v", marker, diags)
+}
+
+func TestSeededForceAck(t *testing.T) {
+	diags := seededFixture(t, "seededstandby", ForceAck{})
+	requireSeeded(t, diags, "may not have been forced")
+	if len(diags) < 3 {
+		t.Fatalf("expected the early-return, fast-path, and interprocedural acks to all be caught; got %v", diags)
+	}
+}
+
+func TestSeededLatchIO(t *testing.T) {
+	diags := seededFixture(t, "seededcleanio", LatchIO{})
+	requireSeeded(t, diags, "wal force while holding")
+	requireSeeded(t, diags, "may force the wal")
+}
+
+func TestSeededGoroutineLeak(t *testing.T) {
+	diags := seededFixture(t, "seededworker", Goroutines{})
+	requireSeeded(t, diags, "can never terminate")
+	requireSeeded(t, diags, "time.Tick")
+	requireSeeded(t, diags, "nothing in the module ever closes")
+}
+
+func TestSeededSentinel(t *testing.T) {
+	diags := seededFixture(t, "seededwrap", Sentinels{})
+	requireSeeded(t, diags, "use errors.Is")
+	requireSeeded(t, diags, "use errors.As")
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "latch-io", File: "internal/server/server.go", Line: 42, Col: 3, Message: "wal force while holding sh (buffer shard latch)"},
+		{Analyzer: "latch-io", File: "internal/server/server.go", Line: 99, Col: 3, Message: "wal force while holding sh (buffer shard latch)"},
+		{Analyzer: "sentinel-errors", File: "internal/client/tx.go", Line: 7, Col: 5, Message: "page.ErrPageFull compared with ==: a wrapped sentinel never matches by identity — use errors.Is"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, diags); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("round-trip lost entries: %v", entries)
+	}
+
+	// Same findings, different lines: everything covered, nothing stale.
+	moved := append([]Diagnostic(nil), diags...)
+	moved[0].Line = 57
+	fresh, stale := ApplyBaseline(entries, moved)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("line churn must not invalidate the baseline: fresh=%v stale=%v", fresh, stale)
+	}
+
+	// A new finding is fresh; multiset semantics keep the duplicate covered.
+	extra := append(moved, Diagnostic{Analyzer: "latch-io", File: "internal/server/scrub.go", Line: 1, Message: "time.Sleep while holding sh (buffer shard latch)"})
+	fresh, stale = ApplyBaseline(entries, extra)
+	if len(fresh) != 1 || fresh[0].File != "internal/server/scrub.go" {
+		t.Fatalf("new finding not detected as fresh: fresh=%v", fresh)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("unexpected stale entries: %v", stale)
+	}
+
+	// A paid-down finding leaves its entry stale.
+	fresh, stale = ApplyBaseline(entries, moved[:2])
+	if len(fresh) != 0 {
+		t.Fatalf("unexpected fresh findings: %v", fresh)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "sentinel-errors" {
+		t.Fatalf("paid-down debt must surface as stale: %v", stale)
+	}
+
+	// A missing file is an empty baseline, not an error.
+	none, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || none != nil {
+		t.Fatalf("missing baseline: entries=%v err=%v", none, err)
+	}
+}
+
 func TestRepoIsLintClean(t *testing.T) {
 	m, err := LoadModule(".")
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Mirror `make lint`: the harness's in-package test files carry
+	// sweep-replay invariants and must stay clean too.
+	m.IncludeTests(m.Path + "/internal/harness")
 	pkgs, err := m.LoadAll()
 	if err != nil {
 		t.Fatal(err)

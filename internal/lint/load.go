@@ -8,9 +8,15 @@ package lint
 // everything else — the standard library — to the compiler-independent
 // source importer, which type-checks stdlib packages from $GOROOT source.
 //
-// Test files (_test.go) are deliberately excluded: the invariants qslint
+// Test files (_test.go) are excluded by default: the invariants qslint
 // enforces protect the production protocol paths; tests crash, reorder and
-// poke stable storage on purpose.
+// poke stable storage on purpose. IncludeTests opts specific packages back
+// in (qslint -tests does this for internal/harness, whose sweep repro
+// helpers must stay deterministic like the sweeps themselves): in-package
+// test files are parsed and type-checked alongside the production files,
+// and analyzers consult Package.IsTestFile to decide how much of their
+// rule set applies there. External test packages (package foo_test) stay
+// excluded — they would need a second type-check universe.
 
 import (
 	"fmt"
@@ -44,9 +50,18 @@ type Module struct {
 	Path string // module path from the go.mod "module" line
 	Fset *token.FileSet
 
-	pkgs    map[string]*Package // by import path
-	loading map[string]bool     // cycle detection
-	std     types.Importer      // source importer for non-module (stdlib) paths
+	pkgs     map[string]*Package // by import path
+	loading  map[string]bool     // cycle detection
+	std      types.Importer      // source importer for non-module (stdlib) paths
+	testPkgs map[string]bool     // import paths whose in-package _test.go files load too
+}
+
+// IncludeTests opts the given import paths into test-file loading. Must be
+// called before the packages are (transitively) loaded.
+func (m *Module) IncludeTests(paths ...string) {
+	for _, p := range paths {
+		m.testPkgs[p] = true
+	}
 }
 
 // LoadModule opens the module rooted at (or above) dir.
@@ -82,12 +97,13 @@ func LoadModule(dir string) (*Module, error) {
 	}
 	fset := token.NewFileSet()
 	return &Module{
-		Root:    root,
-		Path:    modPath,
-		Fset:    fset,
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
-		std:     importer.ForCompiler(fset, "source", nil),
+		Root:     root,
+		Path:     modPath,
+		Fset:     fset,
+		pkgs:     make(map[string]*Package),
+		loading:  make(map[string]bool),
+		std:      importer.ForCompiler(fset, "source", nil),
+		testPkgs: make(map[string]bool),
 	}, nil
 }
 
@@ -192,6 +208,24 @@ func (m *Module) loadDir(dir, importPath string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
+	if m.testPkgs[importPath] {
+		pkgName := files[0].Name.Name
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			// In-package test files only; external test packages (foo_test)
+			// would need their own type-check universe.
+			if f.Name.Name == pkgName {
+				files = append(files, f)
+			}
+		}
+	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -224,6 +258,14 @@ func (m *Module) loadDir(dir, importPath string) (*Package, error) {
 	}
 	m.pkgs[importPath] = pkg
 	return pkg, nil
+}
+
+// IsTestFile reports whether f was parsed from a _test.go file (only
+// possible under IncludeTests). Analyzers use it to scope their rules:
+// most skip test files entirely; determinism keeps checking them, since
+// sweep repro helpers must replay exactly like the sweeps.
+func (p *Package) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
 }
 
 // moduleImporter resolves module-internal paths through the Module and

@@ -2,8 +2,9 @@ package lint
 
 // latch-order: enforces the DESIGN.md §S9 latch partial order,
 //
-//	gate (level 0) → big (1) → one buffer shard latch (2) →
-//	{attMu | dptMu | wplMu | allocMu} (3) → wal/store internals
+//	ckptMu (level 0) → gate (1) → big (2) → one buffer shard latch (3) →
+//	{attMu | dptMu | wplMu | allocMu | scrubMu | state mu} (4) →
+//	wal/store internals
 //
 // as a level graph. Each function body is abstractly interpreted in source
 // order, tracking the multiset of held latches through branches, loops,
@@ -21,6 +22,11 @@ package lint
 //   - a sync.Mutex field named "big"               → level 1
 //   - buffer.Sharded.Lock / *buffer.PoolShard      → level 2 (shard)
 //   - sync.Mutex fields attMu/dptMu/wplMu/allocMu  → level 3 (leaf)
+//   - post-PR-4 state mutexes: the server's scrubMu plus the "mu" fields of
+//     repl.Primary, repl.Standby and archive.Archiver are held briefly with
+//     nothing nested inside, so they sit at leaf level; ckptMu is the
+//     opposite — checkpointFuzzy takes it BEFORE entering the gate — so it
+//     gets its own outermost level above the gate
 //   - a module function named "enter" returning func() acquires the gate;
 //     calling the returned value releases it (the server's enter/exit pair)
 //
@@ -45,16 +51,36 @@ func (LatchOrder) Doc() string {
 }
 
 const (
-	levelGate = iota
+	levelOuter = iota // coordination mutex held across the gate (ckptMu)
+	levelGate
 	levelBig
 	levelShard
 	levelLeaf
 	numLevels
 )
 
-var levelName = [numLevels]string{"session gate", "big (Serialize) mutex", "shard latch", "leaf mutex"}
+var levelName = [numLevels]string{"checkpoint coordination mutex", "session gate", "big (Serialize) mutex", "shard latch", "leaf mutex"}
 
-var leafNames = map[string]bool{"attMu": true, "dptMu": true, "wplMu": true, "allocMu": true}
+var leafNames = map[string]bool{
+	"attMu": true, "dptMu": true, "wplMu": true, "allocMu": true,
+	// scrubMu (PR 5) guards only the scrub cursor and is held with nothing
+	// else — leaf is its natural (most restrictive) slot.
+	"scrubMu": true,
+}
+
+// outerNames are coordination mutexes acquired BEFORE the session gate and
+// held across it: checkpointFuzzy takes ckptMu, then enter()s the gate, then
+// descends through shard latches. Anything already holding the gate (or
+// below) must not acquire them.
+var outerNames = map[string]bool{"ckptMu": true}
+
+// leafMuTypes are module types whose "mu" field is a leaf-level state
+// mutex: the repl primary/standby state and the archiver drain lock.
+var leafMuTypes = [][2]string{
+	{"internal/repl", "Primary"},
+	{"internal/repl", "Standby"},
+	{"internal/archive", "Archiver"},
+}
 
 // held is one latch currently held by the function under analysis.
 type held struct {
@@ -82,89 +108,57 @@ const (
 	evCall      // call to another module function (footprint check)
 )
 
-// funcInfo is the per-function interprocedural summary.
-type funcInfo struct {
-	pkg     *Package
-	decl    *ast.FuncDecl
-	foot    uint8 // bitmask: 1<<level acquired anywhere in this function or its callees
-	allowed bool
-	callees []*types.Func
-}
-
 type latchChecker struct {
-	m      *Module
+	latchClassifier
 	report Reporter
-	funcs  map[*types.Func]*funcInfo
+	sums   *summaries
+	foot   map[*types.Func]uint32 // 1<<level may be acquired by fn or its callees
 
 	// per-function interpreter state
-	pkg           *Package
 	pendingAssign string            // LHS name while scanning `x := <call>`
 	releasers     map[string]string // releaser var → gate lock name it releases
 }
 
 func (LatchOrder) Check(m *Module, pkgs []*Package, report Reporter) {
-	c := &latchChecker{m: m, report: report, funcs: make(map[*types.Func]*funcInfo)}
+	c := &latchChecker{latchClassifier: latchClassifier{m: m}, report: report}
 
-	// Pass 1: collect functions, direct footprints, and call edges.
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
-				if obj == nil {
-					continue
-				}
-				fi := &funcInfo{pkg: pkg, decl: fd, allowed: pkg.FuncAllowed("latch-order", fd)}
-				c.funcs[obj] = fi
-				if fi.allowed {
-					continue
-				}
-				c.pkg = pkg
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					switch ev := c.classify(call); ev.kind {
-					case evAcquire, evTryAcquire, evShardLock:
-						fi.foot |= 1 << ev.level
-					case evEnter:
-						fi.foot |= 1 << levelGate
-					case evCall:
-						fi.callees = append(fi.callees, ev.fn)
-					}
-					return true
-				})
-			}
-		}
-	}
-
-	// Pass 2: propagate footprints to a fixed point (handles recursion).
-	for changed := true; changed; {
-		changed = false
-		for _, fi := range c.funcs {
-			for _, callee := range fi.callees {
-				if cf := c.funcs[callee]; cf != nil && !cf.allowed {
-					if merged := fi.foot | cf.foot; merged != fi.foot {
-						fi.foot = merged
-						changed = true
-					}
-				}
-			}
-		}
-	}
-
-	// Pass 3: abstract interpretation of every function body.
-	for _, fi := range c.funcs {
-		if fi.allowed {
+	// Pass 1+2: per-function direct latch footprints, propagated over the
+	// call graph by the shared summary layer (handles recursion).
+	c.sums = collectFuncs(m, pkgs, "latch-order", false)
+	seed := make(map[*types.Func]uint32, len(c.sums.funcs))
+	for _, obj := range c.sums.order {
+		mf := c.sums.funcs[obj]
+		if mf.Allowed {
 			continue
 		}
-		c.pkg = fi.pkg
+		c.pkg = mf.Pkg
+		var bits uint32
+		ast.Inspect(mf.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch ev := c.classify(call); ev.kind {
+			case evAcquire, evTryAcquire, evShardLock:
+				bits |= 1 << ev.level
+			case evEnter:
+				bits |= 1 << levelGate
+			}
+			return true
+		})
+		seed[obj] = bits
+	}
+	c.foot = c.sums.propagateMay(seed)
+
+	// Pass 3: abstract interpretation of every function body.
+	for _, obj := range c.sums.order {
+		mf := c.sums.funcs[obj]
+		if mf.Allowed {
+			continue
+		}
+		c.pkg = mf.Pkg
 		c.releasers = make(map[string]string)
-		c.walkStmts(fi.decl.Body.List, &[]held{})
+		c.walkStmts(mf.Decl.Body.List, &[]held{})
 	}
 }
 
@@ -186,14 +180,40 @@ func isNamedType(t types.Type, pkgPath, name string) bool {
 	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
 }
 
-func (c *latchChecker) bufferPath() string { return c.m.Path + "/internal/buffer" }
+// latchClassifier is the structural latch recognizer, shared by latch-order
+// and latch-io: both need the same mapping from call expressions to latch
+// events, applied per package under analysis.
+type latchClassifier struct {
+	m   *Module
+	pkg *Package // package currently under analysis
+}
 
-func (c *latchChecker) inModule(pkg *types.Package) bool {
+func (c *latchClassifier) bufferPath() string { return c.m.Path + "/internal/buffer" }
+
+func (c *latchClassifier) inModule(pkg *types.Package) bool {
 	return pkg != nil && (pkg.Path() == c.m.Path || strings.HasPrefix(pkg.Path(), c.m.Path+"/"))
 }
 
+// leafMuLevel reports whether mutexExpr is the "mu" field of one of the
+// leafMuTypes (repl primary/standby state, archiver drain lock).
+func (c *latchClassifier) isLeafStateMu(fx *ast.SelectorExpr) bool {
+	if fx.Sel.Name != "mu" {
+		return false
+	}
+	tv, ok := c.pkg.Info.Types[fx.X]
+	if !ok {
+		return false
+	}
+	for _, lt := range leafMuTypes {
+		if isNamedType(tv.Type, c.m.Path+"/"+lt[0], lt[1]) {
+			return true
+		}
+	}
+	return false
+}
+
 // classify maps a call expression to a latch event.
-func (c *latchChecker) classify(call *ast.CallExpr) event {
+func (c *latchClassifier) classify(call *ast.CallExpr) event {
 	pos := call.Pos()
 	sel, selOK := call.Fun.(*ast.SelectorExpr)
 	var obj *types.Func
@@ -240,7 +260,11 @@ func (c *latchChecker) classify(call *ast.CallExpr) event {
 				level = levelGate
 			case field == "big" && ts == "sync.Mutex":
 				level = levelBig
+			case outerNames[field] && ts == "sync.Mutex":
+				level = levelOuter
 			case leafNames[field] && ts == "sync.Mutex":
+				level = levelLeaf
+			case ts == "sync.Mutex" && c.isLeafStateMu(fx):
 				level = levelLeaf
 			}
 			if level < 0 {
@@ -335,12 +359,13 @@ func (c *latchChecker) release(ev event, st *[]held) {
 
 // checkFootprint validates a call to a module function against the held set.
 func (c *latchChecker) checkFootprint(ev event, st *[]held) {
-	fi := c.funcs[ev.fn]
-	if fi == nil || fi.allowed || fi.foot == 0 {
+	mf := c.sums.funcs[ev.fn]
+	foot := c.foot[ev.fn]
+	if mf == nil || mf.Allowed || foot == 0 {
 		return
 	}
 	for lvl := 0; lvl < numLevels; lvl++ {
-		if fi.foot&(1<<lvl) == 0 {
+		if foot&(1<<lvl) == 0 {
 			continue
 		}
 		for _, h := range *st {

@@ -1,0 +1,16 @@
+package qslintcleanio
+
+import "repro/internal/page"
+
+// repairForce mirrors server.repairImage: the latch is what freezes the
+// frame while its replacement image is forced and written, so the force
+// under the held latch is the repair protocol, not a convoy. The
+// doc-level allow must silence latch-io here — proven by the absence of
+// an unexpected diagnostic.
+//
+//qslint:allow latch-io: fixture twin of repairImage — the force under the held latch is the repair protocol; suppression test
+func (c *cleaner) repairForce(pid page.ID) {
+	sh := c.pool.Lock(pid)
+	c.log.Force()
+	sh.Unlock()
+}

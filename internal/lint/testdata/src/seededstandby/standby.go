@@ -1,0 +1,82 @@
+// fixture-path: repro/qslintfixtures/seededstandby
+
+// Package seededstandby seeds force-before-ack violations: watermark
+// stores and semi-sync acks on paths where the wal tail may still be
+// unforced (DESIGN.md §14's apply → Force → advance order, broken on
+// purpose).
+package seededstandby
+
+import (
+	"sync/atomic"
+
+	"repro/internal/logrec"
+	"repro/internal/wal"
+)
+
+type standby struct {
+	log     *wal.Log
+	applied atomic.Uint64
+	fast    bool
+}
+
+// ApplyShipped mimics the standby's shipped-record apply: it appends
+// into the local log, extending the unforced tail.
+func (s *standby) ApplyShipped(r *logrec.Record) error {
+	_, err := s.log.Append(r)
+	return err
+}
+
+// applyBatch forces on the hot path but acks the empty-batch early
+// return without one: the all-paths dataflow must catch the skipped
+// branch even though the common path is correct.
+func (s *standby) applyBatch(recs []*logrec.Record, cursor uint64) error {
+	for _, r := range recs {
+		if err := s.ApplyShipped(r); err != nil {
+			return err
+		}
+	}
+	if len(recs) == 0 {
+		s.applied.Store(cursor) // want "may not have been forced"
+		return nil
+	}
+	s.log.Force()
+	s.applied.Store(cursor)
+	return nil
+}
+
+// CommitAck is the fixture's stand-in for the server's semi-sync reply
+// hook.
+func (s *standby) CommitAck(end uint64) {}
+
+// commit forces only on the slow path; the fast path acknowledges an
+// append that was never made stable.
+func (s *standby) commit(r *logrec.Record) error {
+	lsn, err := s.log.Append(r)
+	if err != nil {
+		return err
+	}
+	if s.fast {
+		s.CommitAck(lsn) // want "may not have been forced"
+		return nil
+	}
+	s.log.Force()
+	s.CommitAck(lsn)
+	return nil
+}
+
+// stage buffers one record through a helper; the append inside it must
+// reset the forced fact interprocedurally (may-append summary).
+func (s *standby) stage(r *logrec.Record) error {
+	return s.ApplyShipped(r)
+}
+
+// ackAfterStage forces first, then stages — the helper's hidden append
+// leaves the tail unforced again at the store.
+func (s *standby) ackAfterStage(r *logrec.Record, cursor uint64) error {
+	s.log.Force()
+	if err := s.stage(r); err != nil {
+		return err
+	}
+	s.applied.Store(cursor) // want "may not have been forced"
+	return nil
+}

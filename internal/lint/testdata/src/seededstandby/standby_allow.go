@@ -1,0 +1,11 @@
+package seededstandby
+
+// relaxedAck advances the watermark without a force of its own; the
+// fixture models a path whose records an external flusher has already
+// covered. The doc-level allow must suppress the diagnostic entirely —
+// the fixture proves it by the absence of an unexpected finding here.
+//
+//qslint:allow force-before-ack: fixture models an external flusher that already covered cursor; suppression test
+func (s *standby) relaxedAck(cursor uint64) {
+	s.applied.Store(cursor)
+}

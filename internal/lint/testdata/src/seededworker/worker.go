@@ -1,0 +1,59 @@
+// fixture-path: repro/qslintfixtures/seededworker
+
+// Package seededworker seeds goroutine-lifecycle violations: background
+// goroutines that outlive Close — an exit-free spin loop, a time.Tick
+// loop, a stop channel nothing ever closes, and a leaked loop behind a
+// `go method()` spawn.
+package seededworker
+
+import "time"
+
+type worker struct {
+	stop chan struct{}
+	n    int
+}
+
+// spin's goroutine has no path to its exit: it can never be stopped or
+// joined.
+func (w *worker) spin() {
+	go func() { // want "can never terminate"
+		for {
+			w.n++
+		}
+	}()
+}
+
+// tick ranges over time.Tick: the channel is never closed, so the loop
+// and its ticker leak.
+func (w *worker) tick() {
+	go func() { // want "time.Tick"
+		for range time.Tick(time.Second) {
+			w.n++
+		}
+	}()
+}
+
+// orphan selects on a stop channel, but no close(w.stop) or send exists
+// anywhere in the package: the shutdown path was never written.
+func (w *worker) orphan() {
+	go func() { // want "nothing in the module ever closes"
+		for {
+			select {
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+}
+
+// run spawns a module method directly; the leak lives in the method
+// body but is reported at the spawn.
+func (w *worker) run() {
+	go w.loop() // want "can never terminate"
+}
+
+func (w *worker) loop() {
+	for {
+		w.n++
+	}
+}

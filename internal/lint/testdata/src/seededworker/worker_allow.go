@@ -1,0 +1,15 @@
+package seededworker
+
+// forever models a daemon the harness deliberately owns for the whole
+// process lifetime; the doc-level allow must suppress the
+// exit-unreachable diagnostic — proven by the absence of an unexpected
+// finding here.
+//
+//qslint:allow goroutine-lifecycle: fixture daemon deliberately runs for the process lifetime; suppression test
+func (w *worker) forever() {
+	go func() {
+		for {
+			w.n++
+		}
+	}()
+}

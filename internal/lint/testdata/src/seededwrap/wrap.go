@@ -1,0 +1,73 @@
+// fixture-path: repro/qslintfixtures/seededwrap
+
+// Package seededwrap seeds sentinel-errors violations: identity tests,
+// switch cases, string matching and type assertions against module
+// error sentinels that arrive wrapped in fmt.Errorf("...: %w", err)
+// context.
+package seededwrap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/wal"
+)
+
+// ErrStale is a fixture-local module sentinel.
+var ErrStale = errors.New("seededwrap: stale")
+
+type opError struct{ op string }
+
+func (e *opError) Error() string { return e.op }
+
+// read wraps the sentinel the way every layer boundary does.
+func read() error {
+	return fmt.Errorf("read: %w", wal.ErrTruncated)
+}
+
+// checkEq tests identity on a wrapped sentinel: it never matches.
+func checkEq() bool {
+	err := read()
+	return err == wal.ErrTruncated // want "errors.Is"
+}
+
+// checkLocal does the same against the fixture-local sentinel.
+func checkLocal(err error) bool {
+	return err != ErrStale // want "errors.Is"
+}
+
+// checkSwitch is == in switch clothing.
+func checkSwitch(err error) int {
+	switch err {
+	case wal.ErrTruncated: // want "errors.Is chain"
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+// checkString matches on error text, which is not an API.
+func checkString(err error) bool {
+	return strings.Contains(err.Error(), "stale") // want "error text is not an API"
+}
+
+// checkCompare compares .Error() output directly.
+func checkCompare(err error) bool {
+	return err.Error() == "seededwrap: stale" // want "error text is not an API"
+}
+
+// checkAssert digs for the concrete type without unwrapping.
+func checkAssert(err error) string {
+	if oe, ok := err.(*opError); ok { // want "errors.As"
+		return oe.op
+	}
+	return ""
+}
+
+// legacyEq keeps one identity test a migration note justifies; the
+// line-level allow must suppress it (proven by absence).
+func legacyEq(err error) bool {
+	return err == ErrStale //qslint:allow sentinel-errors: compared before any wrapping can happen; suppression test
+}

@@ -1,0 +1,73 @@
+// fixture-path: repro/qslintfixtures/standbyok
+
+// Package standbyok is the clean twin of seededstandby: every watermark
+// store and semi-sync ack is dominated by a covering wal force, via the
+// direct Force, CommitWait, a must-force helper, or a StableEnd-derived
+// value. force-before-ack must stay silent here.
+package standbyok
+
+import (
+	"sync/atomic"
+
+	"repro/internal/logrec"
+	"repro/internal/wal"
+)
+
+type standby struct {
+	log     *wal.Log
+	applied atomic.Uint64
+}
+
+// ApplyShipped appends the shipped record into the local log.
+func (s *standby) ApplyShipped(r *logrec.Record) error {
+	_, err := s.log.Append(r)
+	return err
+}
+
+// CommitAck is the semi-sync reply hook.
+func (s *standby) CommitAck(end uint64) {}
+
+// runBatch is the canonical apply → Force → advance order.
+func (s *standby) runBatch(recs []*logrec.Record, cursor uint64) error {
+	for _, r := range recs {
+		if err := s.ApplyShipped(r); err != nil {
+			return err
+		}
+	}
+	s.log.Force()
+	s.applied.Store(cursor)
+	return nil
+}
+
+// bootstrap seeds the watermark from StableEnd: a value read from the
+// stable frontier is durable by construction, so no force is needed.
+func (s *standby) bootstrap() {
+	s.applied.Store(s.log.StableEnd())
+}
+
+// forceBatch forces on every path: a must-force helper.
+func (s *standby) forceBatch() {
+	s.log.Force()
+}
+
+// ackViaHelper relies on the interprocedural must-summary: forceBatch
+// establishes the fact for the store that follows.
+func (s *standby) ackViaHelper(r *logrec.Record, cursor uint64) error {
+	if err := s.ApplyShipped(r); err != nil {
+		return err
+	}
+	s.forceBatch()
+	s.applied.Store(cursor)
+	return nil
+}
+
+// commit uses CommitWait — the group-commit force — before the ack.
+func (s *standby) commit(r *logrec.Record) error {
+	lsn, err := s.log.Append(r)
+	if err != nil {
+		return err
+	}
+	s.log.CommitWait(lsn)
+	s.CommitAck(lsn)
+	return nil
+}

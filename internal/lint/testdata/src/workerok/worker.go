@@ -1,0 +1,51 @@
+// fixture-path: repro/qslintfixtures/workerok
+
+// Package workerok is the clean twin of seededworker: the canonical
+// stoppable background loop — NewTicker plus a select on a stop channel
+// that Close really closes, a range over a work channel that Close
+// closes, and a done channel joined on shutdown. goroutine-lifecycle
+// must stay silent here.
+package workerok
+
+import "time"
+
+type worker struct {
+	stop chan struct{}
+	done chan struct{}
+	work chan int
+	n    int
+}
+
+// start runs the canonical stoppable maintenance loop.
+func (w *worker) start() {
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.n++
+			}
+		}
+	}()
+}
+
+// drain ranges over the work channel; close(w.work) in Close ends the
+// range and the goroutine with it.
+func (w *worker) drain() {
+	go func() {
+		for v := range w.work {
+			w.n += v
+		}
+	}()
+}
+
+// Close stops both loops and joins the ticker loop.
+func (w *worker) Close() {
+	close(w.stop)
+	close(w.work)
+	<-w.done
+}

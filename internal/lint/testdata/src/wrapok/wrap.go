@@ -1,0 +1,42 @@
+// fixture-path: repro/qslintfixtures/wrapok
+
+// Package wrapok is the clean twin of seededwrap: errors.Is/As against
+// module sentinels, plus the comparisons that are deliberately out of
+// scope — stdlib sentinels (io.EOF is the documented unwrapped
+// contract) and nil tests. sentinel-errors must stay silent here.
+package wrapok
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/wal"
+)
+
+type opError struct{ op string }
+
+func (e *opError) Error() string { return e.op }
+
+// okIs unwraps with errors.Is.
+func okIs(err error) bool {
+	return errors.Is(err, wal.ErrTruncated)
+}
+
+// okAs unwraps to the concrete type with errors.As.
+func okAs(err error) (string, bool) {
+	var oe *opError
+	if errors.As(err, &oe) {
+		return oe.op, true
+	}
+	return "", false
+}
+
+// okEOF tests a stdlib sentinel: out of scope by design.
+func okEOF(err error) bool {
+	return err == io.EOF
+}
+
+// okNil is a plain nil test, not a sentinel comparison.
+func okNil(err error) bool {
+	return err == nil
+}

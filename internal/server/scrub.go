@@ -168,6 +168,8 @@ func (s *Server) repairShardLocked(sn *Session, sh *buffer.PoolShard, pid page.I
 // order: the clean pooled frame (the cache is the authoritative copy), the
 // live log, Config.RepairPage (the archive). The shard latch is held, so
 // the page cannot change mid-repair.
+//
+//qslint:allow latch-io: repair forces the log under the held shard latch on purpose — the latch is what freezes the frame while its bytes are rebuilt, and every repair source is cut at the stable end
 func (s *Server) repairImage(sn *Session, sh *buffer.PoolShard, pid page.ID, corruptErr error) ([]byte, error) {
 	// The write-ahead rule for everything below: repairs are cut at the
 	// stable log end, so force once up front.

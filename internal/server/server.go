@@ -761,6 +761,8 @@ func (s *Server) makeRoomShardLocked(sn *Session, sh *buffer.PoolShard) error {
 }
 
 // flushVictimShardLocked handles a dirty page leaving its shard.
+//
+//qslint:allow latch-io: the write-ahead rule REQUIRES forcing the log up to the victim's pageLSN before its image leaves under the shard latch; releasing mid-eviction would let the page mutate under the evictor
 func (s *Server) flushVictimShardLocked(sn *Session, sh *buffer.PoolShard, v *buffer.Frame) error {
 	pid := v.PID()
 	if s.cfg.Mode == ModeWPL {
@@ -1198,6 +1200,8 @@ func (s *Server) installHead(sn *Session, pid page.ID, e *wplEntry, gen uint64) 
 // installWPLLocked writes the committed head copy e to its permanent
 // location and removes its table entry. Caller holds e.pid's shard latch and
 // wplMu, and has validated e == s.wpl[e.pid] && e.committed.
+//
+//qslint:allow latch-io: installing a logged copy must force its commit record and write the store under the shard latch + wplMu — the WPL table entry and the permanent location have to change atomically against readers
 func (s *Server) installWPLLocked(sn *Session, sh *buffer.PoolShard, e *wplEntry) error {
 	if e.commitEnd > s.log.StableEnd() {
 		// The committed marking is applied with the commit record's append,
@@ -1351,6 +1355,8 @@ func (s *Server) undo(sn *Session, t *txn, stopAt uint64) error {
 }
 
 // undoApply reverses one update record and logs its CLR.
+//
+//qslint:allow latch-io: ARIES undo restores the before-image and appends its CLR under the page's shard latch — the two must be atomic against concurrent readers of the page, and the append is buffered (no force)
 func (s *Server) undoApply(sn *Session, t *txn, r *logrec.Record) error {
 	sh := s.pool.Lock(r.Page)
 	defer sh.Unlock()
