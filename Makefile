@@ -10,13 +10,15 @@
 # -race, the fuzzy crash-point sweep smoke, and one pass of the checkpoint
 # latency benchmark (DESIGN.md §13), and the hot-standby replication
 # surface: the shipping/apply/promotion paths under -race and the failover
-# sweep smoke (every scheme, record-boundary stream cuts; DESIGN.md §14).
+# sweep smoke (every scheme, record-boundary stream cuts; DESIGN.md §14),
+# and the sharding surface: the 2PC router under -race and the two-shard
+# crash/stall sweep smoke (every scheme; DESIGN.md §16).
 
 GO ?= go
 
-.PHONY: check vet lint lint-fixtures build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke bench-commit bench-ckpt race-repl repl-sweep-smoke bench-repl
+.PHONY: check vet lint lint-fixtures build test race sweep-smoke sweep-full race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke bench-commit bench-ckpt race-repl repl-sweep-smoke bench-repl race-shard twopc-sweep-smoke bench-shard
 
-check: vet lint lint-fixtures build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke race-repl repl-sweep-smoke
+check: vet lint lint-fixtures build race sweep-smoke race-concurrent group-sweep-smoke media-sweep-smoke race-archive scrub-sweep-smoke race-scrub race-cleaner fuzzy-sweep-smoke bench-ckpt-smoke race-repl repl-sweep-smoke race-shard twopc-sweep-smoke
 
 vet:
 	$(GO) vet ./...
@@ -136,3 +138,20 @@ repl-sweep-smoke:
 # semi-sync acks at 8 clients, writing BENCH_repl.json (DESIGN.md §14).
 bench-repl:
 	$(GO) run ./cmd/benchcommit -repl -out BENCH_repl.json
+
+# The sharding router and cross-shard 2PC paths under the race detector
+# (DESIGN.md §16).
+race-shard:
+	$(GO) test -race ./internal/shard/ -count=1
+
+# Two-shard 2PC sweeps, budget-sampled: crash at globally-numbered stable
+# events, and stall every Prepare/Decide/Forget message in turn; demands
+# cross-shard atomicity, in-doubt lock retention and idempotent resolution
+# for all five schemes (DESIGN.md §16).
+twopc-sweep-smoke:
+	$(GO) test ./internal/harness/ -run 'TestTwoPC' -count=1 -short
+
+# Scale-out throughput 1..4 shards, disjoint vs 10%-cross-shard mixes,
+# writing BENCH_shard.json (DESIGN.md §16).
+bench-shard:
+	$(GO) run ./cmd/benchcommit -shards 4 -out BENCH_shard.json

@@ -95,6 +95,7 @@ func main() {
 		cksum      = flag.Bool("checksum", false, "wrap the volume in the per-page checksum envelope (measures integrity overhead)")
 		ckpt       = flag.Bool("ckpt", false, "run the checkpoint benchmark instead (commit p99 during a checkpoint, sharp vs fuzzy; writes BENCH_checkpoint.json)")
 		replB      = flag.Bool("repl", false, "run the replication benchmark instead (commit p50/p99 with a hot standby, async vs semi-sync acks; writes BENCH_repl.json)")
+		shardsB    = flag.Int("shards", 0, "run the sharding benchmark instead: cluster sizes 1..N, disjoint vs 10%-cross-shard mixes (writes BENCH_shard.json)")
 	)
 	flag.Parse()
 	checksummed = *cksum
@@ -113,6 +114,14 @@ func main() {
 			dest = "BENCH_repl.json"
 		}
 		runReplBench(dest, *writeDelay)
+		return
+	}
+	if *shardsB > 0 {
+		dest := *out
+		if dest == "BENCH_commit.json" {
+			dest = "BENCH_shard.json"
+		}
+		runShardBench(dest, *shardsB, *writeDelay)
 		return
 	}
 

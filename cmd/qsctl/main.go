@@ -62,7 +62,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench | stats [-json] | scrub [limit] | backup | archive-status | restore [flags] | repl-status | promote | faults arm <plan> | faults disarm | faults list")
+		fmt.Fprintln(os.Stderr, "usage: qsctl [flags] put <data> | get <oid> | bench | stats [-json] | scrub [limit] | backup | archive-status | restore [flags] | repl-status | promote | 2pc-status [addr...] | faults arm <plan> | faults disarm | faults list")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "faults" {
@@ -95,6 +95,13 @@ func main() {
 	}
 	if flag.Arg(0) == "restore" {
 		if err := restoreCmd(flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.Arg(0) == "2pc-status" {
+		if err := twopcStatusCmd(*addr, flag.Args()[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
 			os.Exit(1)
 		}
@@ -280,6 +287,10 @@ func statsCmd(addr string, args []string) error {
 		x.RedoDistanceBytes, x.CkptStallNs)
 	fmt.Printf("integrity        scanned=%d checksum_failures=%d repaired=%d unrepairable=%d\n",
 		x.ScrubScanned, x.ChecksumFailures, x.PagesRepaired, x.PagesUnrepairable)
+	if x.TwoPCPrepares > 0 || x.TwoPCResolutions > 0 || len(x.InDoubt) > 0 {
+		fmt.Printf("two-phase commit prepares=%d presumed_aborts=%d resolutions=%d in_doubt=%d\n",
+			x.TwoPCPrepares, x.TwoPCPresumedAborts, x.TwoPCResolutions, len(x.InDoubt))
+	}
 	if len(x.Ops) > 0 {
 		// Sort the map-keyed section: identical stats must print identically
 		// (scripts diff this output, and map iteration order is randomized).
@@ -313,6 +324,42 @@ func statsCmd(addr string, args []string) error {
 			s.AppliedLSN, s.RemoteStable, s.LagBytes)
 		fmt.Printf("  applying       batches=%d records=%d reconnects=%d\n",
 			s.Batches, s.Records, s.Reconnects)
+	}
+	return nil
+}
+
+// twopcStatusCmd prints every in-doubt transaction branch — prepared under
+// two-phase commit, fate unknown until its coordinator answers — across the
+// shard daemons named as arguments (default: just -addr). A branch listed
+// here holds its locks; a persistently growing age means its coordinator
+// shard is down and a resolution pass (shard.Router.Recover, run by any
+// sharded client at startup) is overdue.
+func twopcStatusCmd(addr string, args []string) error {
+	addrs := args
+	if len(addrs) == 0 {
+		addrs = []string{addr}
+	}
+	total := 0
+	for s, a := range addrs {
+		cli, err := wire.Dial(a)
+		if err != nil {
+			return fmt.Errorf("shard %d (%s): %w", s, a, err)
+		}
+		x, err := cli.ServerStats()
+		cli.Close()
+		if err != nil {
+			return fmt.Errorf("shard %d (%s): %w", s, a, err)
+		}
+		fmt.Printf("shard %d (%s)   prepares=%d presumed_aborts=%d resolutions=%d in_doubt=%d\n",
+			s, a, x.TwoPCPrepares, x.TwoPCPresumedAborts, x.TwoPCResolutions, len(x.InDoubt))
+		for _, idt := range x.InDoubt {
+			fmt.Printf("  tid=%d coordinator=shard %d age=%v\n",
+				idt.TID, idt.Coordinator, idt.Age.Round(time.Millisecond))
+			total++
+		}
+	}
+	if total == 0 {
+		fmt.Println("no in-doubt transactions")
 	}
 	return nil
 }

@@ -36,6 +36,8 @@ func main() {
 		logMB     = flag.Int("log", 256, "transaction log capacity (MB)")
 		gcDelay   = flag.Duration("gcdelay", 0, "group-commit max batch delay (0 = batch without delay, <0 = disable group commit)")
 		shards    = flag.Int("shards", 0, "buffer pool latch shards (0 = default)")
+		shardID   = flag.Int("shard-id", 0, "this daemon's shard index in a multi-volume cluster (with -shard-count)")
+		shardN    = flag.Int("shard-count", 1, "total shards in the cluster: page ids and transaction ids are allocated in this daemon's residue class, and cross-shard commits run two-phase (see qsctl 2pc-status)")
 		serial    = flag.Bool("serialize", false, "serialize all sessions on one mutex (pre-group-commit behaviour)")
 		wplSync   = flag.Bool("wpl-sync-install", false, "wpl: install committed pages inline at commit instead of in the background")
 		archDir   = flag.String("archive-dir", "", "archive log segments and backups into this directory (empty = no archiving)")
@@ -73,8 +75,13 @@ func main() {
 	if *cleanInt > 0 && m == server.ModeWPL {
 		log.Fatalf("quickstored: -cleaner-every is meaningless under WPL (uncommitted pages must never reach their home location)")
 	}
+	if *shardN < 1 || *shardID < 0 || *shardID >= *shardN {
+		log.Fatalf("quickstored: -shard-id %d out of range for -shard-count %d", *shardID, *shardN)
+	}
 	cfg := server.Config{
 		Mode:             m,
+		ShardID:          *shardID,
+		ShardCount:       *shardN,
 		PoolPages:        *cacheMB << 20 / page.Size,
 		LogCapacity:      *logMB << 20,
 		PoolShards:       *shards,
@@ -234,6 +241,10 @@ func main() {
 	}
 	log.Printf("quickstored listening on %s (mode %v, cache %d MB, log %d MB)",
 		lis.Addr(), m, *cacheMB, *logMB)
+	if *shardN > 1 {
+		log.Printf("shard %d of %d: allocating ids in residue class %d (mod %d)",
+			*shardID, *shardN, *shardID+1, *shardN)
+	}
 
 	// Orderly shutdown: checkpoint so a file-backed volume reopens clean.
 	sig := make(chan os.Signal, 1)

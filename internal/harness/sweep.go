@@ -276,18 +276,22 @@ type SweepFailure struct {
 	Seed    int64
 	Point   int64
 	Detail  string
-	Variant string // "" = sharp sweep, "fuzzy" = fuzzy-checkpoint sweep, "repl" = failover sweep
+	Variant string // "" = sharp, "fuzzy" = fuzzy-ckpt, "repl" = failover, "twopc"/"twopc-stall" = sharded 2PC sweeps
 }
 
 // Error formats the failure with its reproduction recipe, naming the replay
 // entry point for the variant the failure came from.
 func (f *SweepFailure) Error() string {
 	fn := "harness.ReplayCrashPoint"
-	if f.Variant == "fuzzy" {
+	switch f.Variant {
+	case "fuzzy":
 		fn = "harness.ReplayFuzzyCrashPoint"
-	}
-	if f.Variant == "repl" {
+	case "repl":
 		fn = "harness.ReplayReplCut"
+	case "twopc":
+		fn = "harness.ReplayTwoPCCrashPoint"
+	case "twopc-stall":
+		fn = "harness.ReplayTwoPCStallPoint"
 	}
 	return fmt.Sprintf("crash-point failure: system=%s seed=%d point=%d: %s "+
 		"(reproduce: %s(%q, %d, %d))",

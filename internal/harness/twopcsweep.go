@@ -1,0 +1,702 @@
+package harness
+
+// Crash-point sweep for the sharded store's presumed-abort two-phase commit
+// (internal/shard, DESIGN.md §16).
+//
+// Two shards run side by side, each with its own volume and WAL, but both
+// stable-storage channels of both shards feed ONE shared counting fuse, so
+// the counting pass numbers every stable event of the whole cluster — data
+// page writes, log flushes (including the PREPARE and DECIDE forces that
+// bracket the 2PC phases), and truncation-head advances — in one global
+// deterministic sequence. A replay freezes the cluster at point P, crashes
+// every shard, restarts every shard, and checks the distributed recovery
+// invariants on top of the single-shard ones:
+//
+//   - cross-shard transactions are all-or-nothing: after recovery plus
+//     resolution the store matches the committed prefix, with the one
+//     boundary transaction either wholly applied on BOTH shards or wholly
+//     rolled back on both — a stamp applied on one shard only is exactly
+//     the atomicity violation 2PC exists to prevent;
+//   - a branch that crashed between its PREPARE and the coordinator's
+//     decision restarts in doubt and HOLDS ITS LOCKS: probing one of its
+//     pages before resolution must time out, and must succeed after;
+//   - resolution (shard.Router.Recover) is idempotent: a second run settles
+//     nothing and changes no data page;
+//   - restart itself stays idempotent (the base sweep's double-restart
+//     check, now over both volumes).
+//
+// A second family — the stall sweep — enumerates the cluster's 2PC
+// messages instead of its stable events: replaying stall point S drops the
+// S-th Prepare/Decide/Forget in transit (faultinject.ErrNotDelivered),
+// which leaves an in-doubt branch with NO crash at all, then crashes and
+// recovers as above. Before the crash each shard takes a checkpoint, so the
+// prepared branch rides the checkpoint's 2PC trailer into restart analysis
+// rather than the log scan — the path a long-lived in-doubt transaction
+// takes in production.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/disk"
+	"repro/internal/faultinject"
+	"repro/internal/lock"
+	"repro/internal/logrec"
+	"repro/internal/page"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+const (
+	twopcShards    = 2
+	twopcObjsShard = 6  // objects per shard
+	twopcStamps    = 36 // stamp transactions after the build
+	twopcObjSize   = 8  // [u32 x][u32 y], always written x=y
+	// twopcLockTimeout bounds the in-doubt lock-retention probe: a probe
+	// against a held lock must come back as lock.ErrDeadlock, not hang the
+	// sweep for the default two seconds per point.
+	twopcLockTimeout = 75 * time.Millisecond
+)
+
+// twopcTxn journals one stamp transaction of the 2PC sweep.
+type twopcTxn struct {
+	tid       logrec.TID
+	pre, post int64 // shared-fuse counts bracketing tx.Commit
+	objs      [2]page.OID
+	val       uint32
+}
+
+// stallCounter numbers the cluster's 2PC messages; message `stall` (1-based)
+// is dropped in transit.
+type stallCounter struct {
+	n     int64
+	stall int64
+	hit   bool
+}
+
+func (c *stallCounter) tick() error {
+	c.n++
+	if c.stall > 0 && c.n == c.stall {
+		c.hit = true
+		return fmt.Errorf("%w: stalled 2PC message %d", faultinject.ErrNotDelivered, c.n)
+	}
+	return nil
+}
+
+// stallBackend wraps one shard's transport, feeding its 2PC messages
+// through the shared stall counter. Ordinary Service traffic is untouched:
+// the stall sweep is about the window between protocol phases.
+type stallBackend struct {
+	shard.Backend
+	c *stallCounter
+}
+
+func (b *stallBackend) Prepare(tid logrec.TID, coordinator int, participants []int) error {
+	if err := b.c.tick(); err != nil {
+		return err
+	}
+	return b.Backend.Prepare(tid, coordinator, participants)
+}
+
+func (b *stallBackend) Decide(tid logrec.TID, commit bool) error {
+	if err := b.c.tick(); err != nil {
+		return err
+	}
+	return b.Backend.Decide(tid, commit)
+}
+
+func (b *stallBackend) Forget(tid logrec.TID) error {
+	if err := b.c.tick(); err != nil {
+		return err
+	}
+	return b.Backend.Forget(tid)
+}
+
+// twopcRun is the state of one 2PC workload execution.
+type twopcRun struct {
+	sys    SweepSystem
+	fuse   *faultinject.Fuse
+	stores [twopcShards]*faultinject.Store
+	logs   [twopcShards]*wal.Log
+	srvs   [twopcShards]*server.Server
+	objs   []page.OID // indices [0,twopcObjsShard) on shard 0, rest on shard 1
+	init   []uint32
+	txns   []twopcTxn // committed stamps, in order
+	// boundary is the stamp in flight when the stall hit (stall sweep only);
+	// it may or may not be in txns depending on whether Commit returned nil.
+	boundary     *twopcTxn
+	buildEnd     int64
+	buildTID     logrec.TID
+	msgs         int64 // 2PC messages observed (counting pass)
+	stalled      bool
+	stallInBuild bool
+	lateErr      error
+}
+
+// twopcServerConfig is sweepServerConfig plus the shard identity that keys
+// residue-class allocation, and the short lock timeout the retention probes
+// rely on.
+func twopcServerConfig(mode server.Mode, store disk.Store, log *wal.Log, shardID int) server.Config {
+	cfg := sweepServerConfig(mode, store, log, sweepVariant{})
+	cfg.ShardID = shardID
+	cfg.ShardCount = twopcShards
+	cfg.LockTimeout = twopcLockTimeout
+	return cfg
+}
+
+// runTwoPCWorkload executes the sharded sweep workload. limit bounds the
+// shared fuse (< 0 = count only); stall drops the stall-th 2PC message
+// (< 0 = none).
+func runTwoPCWorkload(sys SweepSystem, seed, limit, stall int64) (*twopcRun, error) {
+	fuse := faultinject.NewFuse(limit)
+	run := &twopcRun{sys: sys, fuse: fuse}
+	ctr := &stallCounter{stall: stall}
+	backends := make([]shard.Backend, twopcShards)
+	for s := 0; s < twopcShards; s++ {
+		run.stores[s] = faultinject.NewSweepStore(disk.NewMemStore(), fuse)
+		lg := wal.New(sweepLogCapacity)
+		lg.SetFlushLimiter(func(proposed uint64) uint64 {
+			if _, ok := fuse.Event(); !ok {
+				return 0 // frozen: clamped back to the current stable end
+			}
+			return proposed
+		})
+		lg.SetTruncateGate(func() bool {
+			_, ok := fuse.Event()
+			return ok
+		})
+		run.logs[s] = lg
+		run.srvs[s] = server.New(twopcServerConfig(sys.Mode, run.stores[s], lg, s))
+		backends[s] = &stallBackend{Backend: wire.NewDirect(run.srvs[s], nil, nil), c: ctr}
+	}
+	cli, router, err := client.NewSharded(client.Config{
+		Scheme:         sys.Scheme,
+		PoolPages:      sweepClientPool,
+		ShipDirtyPages: sys.Mode != server.ModeREDO,
+	}, backends)
+	if err != nil {
+		return nil, err
+	}
+
+	fail := func(stage string, err error) (*twopcRun, error) {
+		if fuse.Blown() {
+			run.lateErr = fmt.Errorf("%s: %w", stage, err)
+			return run, nil
+		}
+		return nil, fmt.Errorf("2pc sweep workload %s (system=%s seed=%d): %w", stage, sys.Name, seed, err)
+	}
+
+	// Build: one cross-shard transaction lays out twopcObjsShard objects on
+	// each shard (so even the build commit runs the full 2PC protocol).
+	tx, err := cli.Begin()
+	if err != nil {
+		return fail("build begin", err)
+	}
+	run.buildTID = tx.TID()
+	buildErr := func() error {
+		val := uint32(5000)
+		for s := 0; s < twopcShards; s++ {
+			router.SetAllocShard(s)
+			if _, err := tx.NewPage(); err != nil {
+				return fmt.Errorf("new page on shard %d: %w", s, err)
+			}
+			for j := 0; j < twopcObjsShard; j++ {
+				oid, err := tx.Allocate(twopcObjSize)
+				if err != nil {
+					return fmt.Errorf("allocate: %w", err)
+				}
+				if err := writeXY(tx, oid, val); err != nil {
+					return fmt.Errorf("init write: %w", err)
+				}
+				run.objs = append(run.objs, oid)
+				run.init = append(run.init, val)
+				val++
+			}
+		}
+		router.SetAllocShard(-1)
+		return tx.Commit()
+	}()
+	if ctr.hit {
+		run.stalled, run.stallInBuild = true, true
+		return run, nil
+	}
+	if buildErr != nil {
+		return fail("build", buildErr)
+	}
+	run.buildEnd = fuse.Count()
+
+	// Stamps: i%4 == 0 stays on shard 0, == 1 on shard 1, else cross-shard —
+	// the mix the ISSUE's disjoint/cross-shard benchmark also uses. Object
+	// choice is a seeded LCG so different seeds stress different pages.
+	rng := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for i := 0; i < twopcStamps; i++ {
+		a, b := next(twopcObjsShard), next(twopcObjsShard)
+		if b == a {
+			b = (a + 1) % twopcObjsShard
+		}
+		switch i % 4 {
+		case 0: // both on shard 0
+		case 1:
+			a += twopcObjsShard
+			b += twopcObjsShard
+		default:
+			b += twopcObjsShard // one object on each shard
+		}
+		st := twopcTxn{val: uint32(10001 + i), objs: [2]page.OID{run.objs[a], run.objs[b]}}
+		tx, err := cli.Begin()
+		if err != nil {
+			return fail("stamp begin", err)
+		}
+		st.tid = tx.TID()
+		for _, o := range st.objs {
+			if err := writeXY(tx, o, st.val); err != nil {
+				tx.Abort()
+				return fail("stamp write", err)
+			}
+		}
+		st.pre = fuse.Count()
+		err = tx.Commit()
+		st.post = fuse.Count()
+		if ctr.hit {
+			// The stall landed inside this stamp's 2PC. A nil Commit means the
+			// commit point was reached (a participant decide was dropped); an
+			// error means the stamp aborted or its outcome is unknown. Either
+			// way it is the boundary transaction and the workload stops here.
+			run.stalled = true
+			run.boundary = &st
+			if err == nil {
+				run.txns = append(run.txns, st)
+			}
+			return run, nil
+		}
+		if err != nil {
+			return fail("stamp commit", err)
+		}
+		run.txns = append(run.txns, st)
+	}
+	run.msgs = ctr.n
+	return run, nil
+}
+
+// writeXY stores x=y=val into an 8-byte stamp object.
+func writeXY(tx *client.Tx, oid page.OID, val uint32) error {
+	var buf [twopcObjSize]byte
+	putU32(buf[0:], val)
+	putU32(buf[4:], val)
+	return tx.Write(oid, 0, buf[:])
+}
+
+// readXY loads a stamp object's two halves.
+func readXY(tx *client.Tx, oid page.OID) (x, y uint32, err error) {
+	var buf [twopcObjSize]byte
+	if err := tx.Read(oid, 0, buf[:]); err != nil {
+		return 0, 0, err
+	}
+	return getU32(buf[0:]), getU32(buf[4:]), nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// modelTwoPC returns the expected object values once the first k journaled
+// stamps — plus, when non-nil, the boundary stamp — have been applied.
+func (r *twopcRun) modelTwoPC(k int, boundary *twopcTxn) []uint32 {
+	vals := append([]uint32(nil), r.init...)
+	idx := make(map[page.OID]int, len(r.objs))
+	for i, o := range r.objs {
+		idx[o] = i
+	}
+	for i := 0; i < k; i++ {
+		for _, o := range r.txns[i].objs {
+			vals[idx[o]] = r.txns[i].val
+		}
+	}
+	if boundary != nil {
+		for _, o := range boundary.objs {
+			vals[idx[o]] = boundary.val
+		}
+	}
+	return vals
+}
+
+// CountTwoPCPoints runs the 2PC counting pass: the number of shared-fuse
+// crash points and of 2PC messages (the stall sweep's point space).
+func CountTwoPCPoints(sys SweepSystem, seed int64) (fusePoints, msgPoints int64, err error) {
+	run, err := runTwoPCWorkload(sys, seed, -1, -1)
+	if err != nil {
+		return 0, 0, err
+	}
+	if run.lateErr != nil {
+		return 0, 0, fmt.Errorf("2pc counting pass errored: %w", run.lateErr)
+	}
+	return run.fuse.Count(), run.msgs, nil
+}
+
+// TwoPCSweep enumerates the cluster's crash points for one system and
+// replays up to budget of them (≤ 0 = all), evenly spaced.
+func TwoPCSweep(sys SweepSystem, seed int64, budget int) (*SweepReport, error) {
+	n, _, err := CountTwoPCPoints(sys, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SweepReport{System: sys.Name, Seed: seed, Points: n}
+	for _, p := range samplePoints(n, budget) {
+		rep.Replayed = append(rep.Replayed, p)
+		f, err := replayTwoPC(sys, seed, p, -1)
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			rep.Failures = append(rep.Failures, f)
+		}
+	}
+	return rep, nil
+}
+
+// TwoPCStallSweep enumerates the cluster's 2PC messages and replays up to
+// budget droppings of them (≤ 0 = all), evenly spaced.
+func TwoPCStallSweep(sys SweepSystem, seed int64, budget int) (*SweepReport, error) {
+	_, n, err := CountTwoPCPoints(sys, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SweepReport{System: sys.Name, Seed: seed, Points: n}
+	for _, p := range samplePoints(n, budget) {
+		rep.Replayed = append(rep.Replayed, p)
+		f, err := replayTwoPC(sys, seed, -1, p)
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			rep.Failures = append(rep.Failures, f)
+		}
+	}
+	return rep, nil
+}
+
+// ReplayTwoPCCrashPoint re-runs a single 2PC crash point — the reproduction
+// entry point printed with "twopc"-variant failures.
+func ReplayTwoPCCrashPoint(system string, seed, point int64) (*SweepFailure, error) {
+	for _, sys := range SweepSystems() {
+		if sys.Name == system {
+			return replayTwoPC(sys, seed, point, -1)
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown sweep system %q", system)
+}
+
+// ReplayTwoPCStallPoint re-runs a single dropped-message point — the
+// reproduction entry point printed with "twopc-stall"-variant failures.
+func ReplayTwoPCStallPoint(system string, seed, point int64) (*SweepFailure, error) {
+	for _, sys := range SweepSystems() {
+		if sys.Name == system {
+			return replayTwoPC(sys, seed, -1, point)
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown sweep system %q", system)
+}
+
+// replayTwoPC runs one 2PC replay: exactly one of point (fuse crash point)
+// and stall (dropped 2PC message) is ≥ 0.
+func replayTwoPC(sys SweepSystem, seed, point, stall int64) (*SweepFailure, error) {
+	variant := "twopc"
+	repro := point
+	if stall > 0 {
+		variant = "twopc-stall"
+		repro = stall
+	}
+	run, err := runTwoPCWorkload(sys, seed, point, stall)
+	if err != nil {
+		return nil, err
+	}
+	bad := func(format string, args ...interface{}) *SweepFailure {
+		return &SweepFailure{System: sys.Name, Seed: seed, Point: repro,
+			Detail: fmt.Sprintf(format, args...), Variant: variant}
+	}
+
+	// Stall variant: the cluster is still alive, with an in-doubt branch if
+	// the drop landed after a PREPARE. Checkpoint each shard so restart meets
+	// the prepared branch through the checkpoint's 2PC trailer, then crash.
+	if stall > 0 {
+		for s := 0; s < twopcShards; s++ {
+			if err := run.srvs[s].NewSession(nil, nil).Checkpoint(); err != nil {
+				return bad("pre-crash checkpoint on shard %d failed: %v", s, err), nil
+			}
+		}
+	}
+
+	// Crash every shard: volatile state lost, stable storage thaws.
+	for s := 0; s < twopcShards; s++ {
+		run.srvs[s].Crash()
+		run.logs[s].SetFlushLimiter(nil)
+		run.logs[s].SetTruncateGate(nil)
+	}
+	run.fuse.Disarm()
+	for s := 0; s < twopcShards; s++ {
+		run.stores[s].CrashDropPending()
+	}
+
+	// Restart every shard on a fresh server over its surviving store + log.
+	var srv2 [twopcShards]*server.Server
+	for s := 0; s < twopcShards; s++ {
+		srv2[s] = server.New(twopcServerConfig(sys.Mode, run.stores[s], run.logs[s], s))
+		if err := srv2[s].NewSession(nil, nil).Restart(); err != nil {
+			return bad("restart of shard %d failed: %v", s, err), nil
+		}
+	}
+
+	// In-doubt branches must hold their locks until resolution.
+	type probe struct {
+		shard int
+		pid   page.ID
+	}
+	var probes []probe
+	for s := 0; s < twopcShards; s++ {
+		for _, idt := range srv2[s].InDoubt() {
+			st := run.stampByTID(idt.TID)
+			if st == nil {
+				continue // build or unjournaled transaction: page set unknown
+			}
+			for _, o := range st.objs {
+				if shardOfPage(o.Page) == s {
+					probes = append(probes, probe{shard: s, pid: o.Page})
+				}
+			}
+		}
+	}
+	for _, p := range probes {
+		sn := srv2[p.shard].NewSession(nil, nil)
+		ptid := sn.Begin()
+		err := sn.Lock(ptid, p.pid, lock.Shared)
+		sn.Abort(ptid)
+		if err == nil {
+			return bad("in-doubt branch released page %v on shard %d before resolution", p.pid, p.shard), nil
+		}
+		if !errors.Is(err, lock.ErrDeadlock) {
+			return bad("in-doubt lock probe of page %v on shard %d: %v (want lock timeout)", p.pid, p.shard, err), nil
+		}
+	}
+
+	// Recovery resolution settles every in-doubt branch; a second run must
+	// find nothing and change nothing (idempotence under re-delivery).
+	backends2 := make([]shard.Backend, twopcShards)
+	for s := 0; s < twopcShards; s++ {
+		backends2[s] = wire.NewDirect(srv2[s], nil, nil)
+	}
+	router2 := shard.NewRouter(backends2)
+	if _, err := router2.Recover(); err != nil {
+		return bad("recovery resolution failed: %v", err), nil
+	}
+	dumpPre, err := dumpCluster(run)
+	if err != nil {
+		return nil, err
+	}
+	again, err := router2.Recover()
+	if err != nil {
+		return bad("second recovery resolution failed: %v", err), nil
+	}
+	if len(again) != 0 {
+		return bad("resolution not idempotent: second run settled %d branches", len(again)), nil
+	}
+	dumpPost, err := dumpCluster(run)
+	if err != nil {
+		return nil, err
+	}
+	if diff := diffClusters(dumpPre, dumpPost); diff != "" {
+		return bad("second resolution changed data: %s", diff), nil
+	}
+	for s := 0; s < twopcShards; s++ {
+		if left := srv2[s].InDoubt(); len(left) != 0 {
+			return bad("shard %d still reports %d in-doubt branches after resolution", s, len(left)), nil
+		}
+	}
+
+	// Locks release once the fate is known.
+	for _, p := range probes {
+		sn := srv2[p.shard].NewSession(nil, nil)
+		ptid := sn.Begin()
+		err := sn.Lock(ptid, p.pid, lock.Shared)
+		sn.Abort(ptid)
+		if err != nil {
+			return bad("page %v on shard %d still locked after resolution: %v", p.pid, p.shard, err), nil
+		}
+	}
+
+	// Value invariants: the cluster matches the committed prefix, with the
+	// boundary transaction all-or-nothing across both shards.
+	if !run.stallInBuild && (stall > 0 || point > run.buildEnd) && len(run.objs) > 0 {
+		if f := run.verifyTwoPC(srv2, point, stall, bad); f != nil {
+			return f, nil
+		}
+	}
+
+	// Restart idempotence over both volumes. Resolution commits and aborts
+	// dirtied pool pages after the first restart; flush them so the dumps
+	// compare restart against a settled store, not against work the second
+	// restart legitimately redoes.
+	for s := 0; s < twopcShards; s++ {
+		if err := srv2[s].NewSession(nil, nil).FlushAll(); err != nil {
+			return bad("flush of shard %d after resolution failed: %v", s, err), nil
+		}
+	}
+	before, err := dumpCluster(run)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < twopcShards; s++ {
+		srv2[s].Crash()
+		srv3 := server.New(twopcServerConfig(sys.Mode, run.stores[s], run.logs[s], s))
+		if err := srv3.NewSession(nil, nil).Restart(); err != nil {
+			return bad("second restart of shard %d failed: %v", s, err), nil
+		}
+	}
+	after, err := dumpCluster(run)
+	if err != nil {
+		return nil, err
+	}
+	if diff := diffClusters(before, after); diff != "" {
+		return bad("restart not idempotent: %s", diff), nil
+	}
+	return nil, nil
+}
+
+// stampByTID finds a journaled (or boundary) stamp by transaction id.
+func (r *twopcRun) stampByTID(tid logrec.TID) *twopcTxn {
+	for i := range r.txns {
+		if r.txns[i].tid == tid {
+			return &r.txns[i]
+		}
+	}
+	if r.boundary != nil && r.boundary.tid == tid {
+		return r.boundary
+	}
+	return nil
+}
+
+// shardOfPage mirrors shard.Map.ShardOf for the sweep's fixed shard count.
+func shardOfPage(pid page.ID) int {
+	return shard.Map{N: twopcShards}.ShardOf(pid)
+}
+
+// verifyTwoPC reads every stamp object through a recovered, resolved
+// cluster and checks the committed-prefix / boundary-atomicity invariants.
+func (r *twopcRun) verifyTwoPC(srv2 [twopcShards]*server.Server, point, stall int64,
+	bad func(string, ...interface{}) *SweepFailure) *SweepFailure {
+	// kc and the boundary stamp. Fuse variant: the journal bracket counts
+	// decide which stamps must be durable, exactly as the base sweep. Stall
+	// variant: every journaled stamp before the boundary committed normally.
+	var kc int
+	var boundary *twopcTxn
+	if stall > 0 {
+		kc = len(r.txns)
+		if kc > 0 && r.boundary != nil && r.txns[kc-1].tid == r.boundary.tid {
+			kc-- // the boundary stamp was journaled (commit returned nil)
+		}
+		boundary = r.boundary
+	} else {
+		for kc < len(r.txns) && r.txns[kc].post <= point {
+			kc++
+		}
+		for i := kc; i < len(r.txns); i++ {
+			if r.txns[i].post <= point {
+				return bad("journal not prefix-closed: stamp %d committed while stamp %d did not", i, kc)
+			}
+		}
+		if kc < len(r.txns) && r.txns[kc].pre <= point {
+			boundary = &r.txns[kc]
+		}
+	}
+
+	backends := make([]shard.Backend, twopcShards)
+	for s := 0; s < twopcShards; s++ {
+		backends[s] = wire.NewDirect(srv2[s], nil, nil)
+	}
+	cli, _, err := client.NewSharded(client.Config{
+		Scheme:         r.sys.Scheme,
+		PoolPages:      sweepClientPool,
+		ShipDirtyPages: r.sys.Mode != server.ModeREDO,
+	}, backends)
+	if err != nil {
+		return bad("verification client: %v", err)
+	}
+	tx, err := cli.Begin()
+	if err != nil {
+		return bad("verification begin failed: %v", err)
+	}
+	defer tx.Abort()
+	got := make([]uint32, len(r.objs))
+	for i, o := range r.objs {
+		x, y, err := readXY(tx, o)
+		if err != nil {
+			return bad("verification read of %v failed: %v", o, err)
+		}
+		if x != y {
+			return bad("object %v has x=%d y=%d (stamps always write x=y: torn object update)", o, x, y)
+		}
+		got[i] = x
+	}
+
+	mismatch := func(want []uint32) (int, bool) {
+		for i := range want {
+			if got[i] != want[i] {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	committed := r.modelTwoPC(kc, nil)
+	i, diffA := mismatch(committed)
+	if !diffA {
+		return nil // exactly the committed prefix: the boundary rolled back whole
+	}
+	if boundary == nil {
+		return bad("object %v = %d, want %d (committed prefix of %d stamps; none was mid-commit)",
+			r.objs[i], got[i], committed[i], kc)
+	}
+	withBoundary := r.modelTwoPC(kc, boundary)
+	if j, diffB := mismatch(withBoundary); diffB {
+		return bad("state matches neither %d committed stamps (object %v: got %d want %d) nor "+
+			"boundary-applied (object %v: got %d want %d): cross-shard stamp applied non-atomically",
+			kc, r.objs[i], got[i], committed[i], r.objs[j], got[j], withBoundary[j])
+	}
+	return nil // boundary stamp wholly durable on both shards: also legal
+}
+
+// dumpCluster snapshots both shards' data pages.
+func dumpCluster(run *twopcRun) ([twopcShards]map[page.ID][]byte, error) {
+	var out [twopcShards]map[page.ID][]byte
+	for s := 0; s < twopcShards; s++ {
+		d, err := dumpStore(run.stores[s])
+		if err != nil {
+			return out, err
+		}
+		out[s] = d
+	}
+	return out, nil
+}
+
+// diffClusters describes the first difference between two cluster dumps.
+func diffClusters(a, b [twopcShards]map[page.ID][]byte) string {
+	for s := 0; s < twopcShards; s++ {
+		if d := diffDumps(a[s], b[s]); d != "" {
+			return fmt.Sprintf("shard %d: %s", s, d)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestTwoPCSweepSmoke runs the sharded 2PC crash sweep for every scheme:
+// enumerate the cluster's global stable-event sequence (both shards feed one
+// fuse), replay a budget-limited sample, and fail with a reproduction recipe
+// for each violated distributed-recovery invariant (cross-shard atomicity,
+// in-doubt lock retention, idempotent resolution, restart idempotence).
+func TestTwoPCSweepSmoke(t *testing.T) {
+	budget := replayBudget(t)
+	for _, sys := range SweepSystems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := TwoPCSweep(sys, *sweepSeed, budget)
+			if err != nil {
+				t.Fatalf("2pc sweep: %v", err)
+			}
+			if rep.Points < 100 {
+				t.Errorf("only %d crash points enumerated, want >= 100 (workload too small)", rep.Points)
+			}
+			t.Logf("%s: %d crash points, replayed %d, %d failures",
+				sys.Name, rep.Points, len(rep.Replayed), len(rep.Failures))
+			for _, f := range rep.Failures {
+				t.Errorf("%v", f)
+			}
+		})
+	}
+}
+
+// TestTwoPCStallSweepSmoke drops every (budget-limited sample of) in-flight
+// 2PC message instead of crashing at a stable event: a lost Prepare must
+// abort the transaction everywhere, a lost Decide must leave an in-doubt
+// branch that recovery resolution settles to the coordinator's logged
+// outcome, and a lost Forget must stay invisible. Each replay also
+// checkpoints both shards before crashing, so prepared branches reach
+// restart through the checkpoint's 2PC trailer.
+func TestTwoPCStallSweepSmoke(t *testing.T) {
+	budget := replayBudget(t)
+	for _, sys := range SweepSystems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := TwoPCStallSweep(sys, *sweepSeed, budget)
+			if err != nil {
+				t.Fatalf("2pc stall sweep: %v", err)
+			}
+			if rep.Points < 3*twopcStamps {
+				t.Errorf("only %d 2PC messages enumerated, want >= %d "+
+					"(cross-shard commits should send prepare+decide+forget per participant)",
+					rep.Points, 3*twopcStamps)
+			}
+			t.Logf("%s: %d 2PC messages, replayed %d, %d failures",
+				sys.Name, rep.Points, len(rep.Replayed), len(rep.Failures))
+			for _, f := range rep.Failures {
+				t.Errorf("%v", f)
+			}
+		})
+	}
+}
+
+// TestTwoPCStallLeavesInDoubt guards the stall sweep against vacuity: a
+// healthy fraction of dropped messages must strand branches in doubt across
+// the crash (otherwise the lock-retention and resolution checks never run),
+// and those branches must map back to journaled stamps so their pages are
+// probeable. One scheme suffices — the message schedule is scheme-agnostic.
+func TestTwoPCStallLeavesInDoubt(t *testing.T) {
+	sys := SweepSystems()[0]
+	_, msgs, err := CountTwoPCPoints(sys, *sweepSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indoubt, probed := 0, 0
+	for p := int64(1); p <= msgs; p++ {
+		run, err := runTwoPCWorkload(sys, *sweepSeed, -1, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < twopcShards; s++ {
+			run.srvs[s].Crash()
+			run.logs[s].SetFlushLimiter(nil)
+			run.logs[s].SetTruncateGate(nil)
+		}
+		run.fuse.Disarm()
+		found, withPages := false, false
+		for s := 0; s < twopcShards; s++ {
+			run.stores[s].CrashDropPending()
+			srv := server.New(twopcServerConfig(sys.Mode, run.stores[s], run.logs[s], s))
+			if err := srv.NewSession(nil, nil).Restart(); err != nil {
+				t.Fatalf("point %d shard %d restart: %v", p, s, err)
+			}
+			for _, idt := range srv.InDoubt() {
+				found = true
+				if run.stampByTID(idt.TID) != nil {
+					withPages = true
+				}
+			}
+		}
+		if found {
+			indoubt++
+		}
+		if withPages {
+			probed++
+		}
+	}
+	t.Logf("stall points: %d, leaving in-doubt branches: %d, with probeable stamps: %d",
+		msgs, indoubt, probed)
+	if indoubt < int(msgs)/10 {
+		t.Errorf("only %d of %d stall points left an in-doubt branch: sweep is (nearly) vacuous", indoubt, msgs)
+	}
+	if probed == 0 {
+		t.Error("no in-doubt branch maps to a journaled stamp: lock probes never run")
+	}
+}
+
+// TestTwoPCSweepDeterminism re-counts the 2PC point spaces: both the fuse
+// sequence and the message sequence must be identical across runs, or a
+// printed reproduction recipe would replay a different execution.
+func TestTwoPCSweepDeterminism(t *testing.T) {
+	for _, sys := range SweepSystems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			t.Parallel()
+			fuseA, msgA, err := CountTwoPCPoints(sys, *sweepSeed)
+			if err != nil {
+				t.Fatalf("counting pass A: %v", err)
+			}
+			fuseB, msgB, err := CountTwoPCPoints(sys, *sweepSeed)
+			if err != nil {
+				t.Fatalf("counting pass B: %v", err)
+			}
+			if fuseA != fuseB || msgA != msgB {
+				t.Errorf("counting passes disagree: (%d,%d) vs (%d,%d) fuse/message points",
+					fuseA, msgA, fuseB, msgB)
+			}
+		})
+	}
+}

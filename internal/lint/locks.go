@@ -66,6 +66,10 @@ var leafNames = map[string]bool{
 	// scrubMu (PR 5) guards only the scrub cursor and is held with nothing
 	// else — leaf is its natural (most restrictive) slot.
 	"scrubMu": true,
+	// decMu guards the 2PC coordinator's decided-transaction table; it nests
+	// inside attMu on the logDecision/Forget paths, and leaf mutexes are
+	// unordered among themselves, so leaf is its slot too.
+	"decMu": true,
 }
 
 // outerNames are coordination mutexes acquired BEFORE the session gate and
@@ -75,11 +79,14 @@ var leafNames = map[string]bool{
 var outerNames = map[string]bool{"ckptMu": true}
 
 // leafMuTypes are module types whose "mu" field is a leaf-level state
-// mutex: the repl primary/standby state and the archiver drain lock.
+// mutex: the repl primary/standby state, the archiver drain lock, and the
+// shard router's membership table (held only around map bookkeeping, never
+// across a Backend call — leaf is the slot that enforces exactly that).
 var leafMuTypes = [][2]string{
 	{"internal/repl", "Primary"},
 	{"internal/repl", "Standby"},
 	{"internal/archive", "Archiver"},
+	{"internal/shard", "Router"},
 }
 
 // held is one latch currently held by the function under analysis.

@@ -17,6 +17,8 @@ func FuzzDecode(f *testing.F) {
 	f.Add(NewCommit(1).Encode(nil))
 	f.Add(NewUpdate(3, 9, 100, []byte("abc"), []byte("xyz")).Encode(nil))
 	f.Add(NewPageImage(2, 4, make([]byte, 64)).Encode(nil))
+	f.Add(NewPrepare(5, 1, []int{0, 1, 3}).Encode(nil))
+	f.Add(NewDecide(6, 0, []int{0, 2}).Encode(nil))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 100))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -31,6 +33,14 @@ func FuzzDecode(f *testing.F) {
 		re := r.Encode(nil)
 		if !bytes.Equal(re, data[:n]) {
 			t.Fatalf("re-encode mismatch:\n%x\n%x", re, data[:n])
+		}
+		// 2PC payloads must either decode cleanly or be rejected — never panic
+		// and never round-trip to different membership.
+		if r.Type == TypePrepare || r.Type == TypeDecide {
+			coord, parts, err := DecodePrepareInfo(r.After)
+			if err == nil && !bytes.Equal(EncodePrepareInfo(coord, parts), r.After) {
+				t.Fatal("2PC payload re-encode mismatch")
+			}
 		}
 	})
 }

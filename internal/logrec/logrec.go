@@ -60,6 +60,10 @@ func (t Type) String() string {
 		return "CLR"
 	case TypeCheckpoint:
 		return "CKPT"
+	case TypePrepare:
+		return "PREPARE"
+	case TypeDecide:
+		return "DECIDE"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}

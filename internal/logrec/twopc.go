@@ -1,0 +1,76 @@
+// Two-phase-commit record types (DESIGN.md §16). A cross-shard transaction
+// writes a PREPARE record on every participant shard (forced before the
+// shard votes yes) and a DECIDE record on the coordinator shard only; the
+// forced DECIDE is the commit point. Under presumed abort, an abort decision
+// is never logged — a participant that finds no decision on the coordinator
+// rolls back.
+package logrec
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// 2PC record types, continuing the Type enumeration.
+const (
+	// TypePrepare marks a participant branch of a cross-shard transaction as
+	// prepared: all its updates are on the stable log, its locks are held,
+	// and the branch may neither commit nor roll back until the coordinator's
+	// decision is known. After carries the coordinator identity and the full
+	// participant set (see EncodePrepareInfo).
+	TypePrepare Type = 8
+	// TypeDecide is the coordinator's commit decision; once it is on stable
+	// storage the transaction is committed on every shard. After carries the
+	// participant set. Abort decisions are never logged (presumed abort).
+	TypeDecide Type = 9
+)
+
+// ErrBadPrepare reports a malformed prepare/decide payload.
+var ErrBadPrepare = errors.New("logrec: malformed 2PC payload")
+
+// maxParticipants bounds the participant set so a corrupt length word cannot
+// drive a huge allocation during decode.
+const maxParticipants = 1 << 10
+
+// EncodePrepareInfo encodes a 2PC membership payload: the coordinator shard
+// id followed by the participant shard ids (in the order given).
+func EncodePrepareInfo(coordinator int, participants []int) []byte {
+	if len(participants) > maxParticipants {
+		panic("logrec: participant set too large")
+	}
+	b := make([]byte, 8+4*len(participants))
+	binary.LittleEndian.PutUint32(b[0:], uint32(coordinator))
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(participants)))
+	for i, p := range participants {
+		binary.LittleEndian.PutUint32(b[8+4*i:], uint32(p))
+	}
+	return b
+}
+
+// DecodePrepareInfo parses a payload written by EncodePrepareInfo. The exact
+// length must match the declared participant count.
+func DecodePrepareInfo(b []byte) (coordinator int, participants []int, err error) {
+	if len(b) < 8 {
+		return 0, nil, ErrBadPrepare
+	}
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	if n > maxParticipants || len(b) != 8+4*n {
+		return 0, nil, ErrBadPrepare
+	}
+	coordinator = int(binary.LittleEndian.Uint32(b[0:]))
+	participants = make([]int, n)
+	for i := range participants {
+		participants[i] = int(binary.LittleEndian.Uint32(b[8+4*i:]))
+	}
+	return coordinator, participants, nil
+}
+
+// NewPrepare builds a participant prepare record.
+func NewPrepare(tid TID, coordinator int, participants []int) *Record {
+	return &Record{TID: tid, Type: TypePrepare, After: EncodePrepareInfo(coordinator, participants)}
+}
+
+// NewDecide builds a coordinator commit-decision record.
+func NewDecide(tid TID, coordinator int, participants []int) *Record {
+	return &Record{TID: tid, Type: TypeDecide, After: EncodePrepareInfo(coordinator, participants)}
+}

@@ -1,0 +1,90 @@
+package logrec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestPrepareRoundTrip(t *testing.T) {
+	r := NewPrepare(41, 2, []int{0, 2, 3})
+	got, n, err := Decode(r.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != r.EncodedSize() || got.Type != TypePrepare || got.TID != 41 {
+		t.Fatalf("header mismatch: %v", got)
+	}
+	coord, parts, err := DecodePrepareInfo(got.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord != 2 || len(parts) != 3 || parts[0] != 0 || parts[1] != 2 || parts[2] != 3 {
+		t.Fatalf("payload mismatch: coord=%d parts=%v", coord, parts)
+	}
+}
+
+func TestDecideRoundTrip(t *testing.T) {
+	r := NewDecide(7, 1, []int{1, 0})
+	got, _, err := Decode(r.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeDecide || got.TID != 7 {
+		t.Fatalf("header mismatch: %v", got)
+	}
+	coord, parts, err := DecodePrepareInfo(got.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord != 1 || len(parts) != 2 || parts[0] != 1 || parts[1] != 0 {
+		t.Fatalf("payload mismatch: coord=%d parts=%v", coord, parts)
+	}
+}
+
+func TestPrepareInfoEmptyParticipants(t *testing.T) {
+	coord, parts, err := DecodePrepareInfo(EncodePrepareInfo(5, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord != 5 || len(parts) != 0 {
+		t.Fatalf("coord=%d parts=%v", coord, parts)
+	}
+}
+
+func TestDecodePrepareInfoRejectsCorrupt(t *testing.T) {
+	good := EncodePrepareInfo(1, []int{0, 1})
+	cases := map[string][]byte{
+		"short":     good[:6],
+		"truncated": good[:len(good)-2],
+		"overlong":  append(append([]byte(nil), good...), 0xaa),
+		"empty":     {},
+		"huge count": func() []byte {
+			b := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint32(b[4:], 1<<30)
+			return b
+		}(),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodePrepareInfo(b); err != ErrBadPrepare {
+			t.Errorf("%s: err = %v, want ErrBadPrepare", name, err)
+		}
+	}
+}
+
+func TestTwoPCStrings(t *testing.T) {
+	if s := TypePrepare.String(); s != "PREPARE" {
+		t.Fatalf("TypePrepare.String() = %q", s)
+	}
+	if s := TypeDecide.String(); s != "DECIDE" {
+		t.Fatalf("TypeDecide.String() = %q", s)
+	}
+}
+
+func TestPrepareEncodeIsDeterministic(t *testing.T) {
+	a := NewPrepare(9, 0, []int{0, 1, 2}).Encode(nil)
+	b := NewPrepare(9, 0, []int{0, 1, 2}).Encode(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("prepare encoding is not deterministic")
+	}
+}

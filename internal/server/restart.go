@@ -61,6 +61,25 @@ type ckptDPT struct {
 	rec uint64
 }
 
+// ckptPrepared is a prepared (in-doubt-capable) branch in a checkpoint
+// record: enough to resurrect the 2PC state even when the PREPARE record
+// itself predates the analysis scan window.
+type ckptPrepared struct {
+	tid     logrec.TID
+	prepLSN uint64
+	coord   int
+	parts   []int
+}
+
+// ckptDecided is a coordinator commit decision still awaiting the forget
+// protocol. Carrying it in the checkpoint lets truncation reclaim the DECIDE
+// record itself without losing the resolution answer.
+type ckptDecided struct {
+	tid   logrec.TID
+	lsn   uint64
+	parts []int
+}
+
 type ckptPayload struct {
 	nextPage page.ID
 	nextTID  logrec.TID
@@ -73,12 +92,22 @@ type ckptPayload struct {
 	txns     []ckptTxn
 	wpl      []ckptWPL
 	dpt      []ckptDPT
+	// 2PC trailer (v3). Both empty on a single-shard server, where encode()
+	// emits the byte-identical v2 layout.
+	prepared []ckptPrepared
+	decided  []ckptDecided
 }
 
 // ckptV2Magic marks the extended checkpoint layout (DPT entries + analysis
 // begin LSN). The legacy layout's first word is nextPage, a 32-bit page id,
 // so a first word with high bits set is unambiguous.
 const ckptV2Magic = uint64(0x5153434B50543032) // "QSCKPT02"
+
+// ckptV3Magic marks the 2PC-aware layout: the v2 body followed by a trailer
+// of prepared branches and decided-but-unforgotten transactions. Emitted only
+// when the trailer would be non-empty, so single-shard deployments keep
+// producing byte-identical v2 records.
+const ckptV3Magic = uint64(0x5153434B50543033) // "QSCKPT03"
 
 func (c *ckptPayload) encode() []byte {
 	buf := make([]byte, 0, 56+24*len(c.txns)+24*len(c.wpl)+16*len(c.dpt))
@@ -87,7 +116,11 @@ func (c *ckptPayload) encode() []byte {
 		binary.LittleEndian.PutUint64(tmp[:], v)
 		buf = append(buf, tmp[:]...)
 	}
-	put64(ckptV2Magic)
+	magic := ckptV2Magic
+	if len(c.prepared) > 0 || len(c.decided) > 0 {
+		magic = ckptV3Magic
+	}
+	put64(magic)
 	put64(uint64(c.nextPage))
 	put64(uint64(c.nextTID))
 	put64(c.beginLSN)
@@ -112,6 +145,27 @@ func (c *ckptPayload) encode() []byte {
 		put64(uint64(d.pid))
 		put64(d.rec)
 	}
+	if magic == ckptV3Magic {
+		put64(uint64(len(c.prepared)))
+		for _, p := range c.prepared {
+			put64(uint64(p.tid))
+			put64(p.prepLSN)
+			put64(uint64(p.coord))
+			put64(uint64(len(p.parts)))
+			for _, sh := range p.parts {
+				put64(uint64(sh))
+			}
+		}
+		put64(uint64(len(c.decided)))
+		for _, d := range c.decided {
+			put64(uint64(d.tid))
+			put64(d.lsn)
+			put64(uint64(len(d.parts)))
+			for _, sh := range d.parts {
+				put64(uint64(sh))
+			}
+		}
+	}
 	return buf
 }
 
@@ -120,7 +174,8 @@ func decodeCkpt(b []byte) (*ckptPayload, error) {
 		return nil, fmt.Errorf("server: checkpoint payload too short (%d bytes)", len(b))
 	}
 	get := func(i int) uint64 { return binary.LittleEndian.Uint64(b[8*i:]) }
-	if get(0) != ckptV2Magic {
+	magic := get(0)
+	if magic != ckptV2Magic && magic != ckptV3Magic {
 		return decodeCkptLegacy(b)
 	}
 	c := &ckptPayload{
@@ -129,7 +184,10 @@ func decodeCkpt(b []byte) (*ckptPayload, error) {
 		beginLSN: get(3),
 	}
 	nt, nw, nd := int(get(4)), int(get(5)), int(get(6))
-	if nt < 0 || nw < 0 || nd < 0 || len(b) != 56+24*nt+24*nw+16*nd {
+	body := 56 + 24*nt + 24*nw + 16*nd
+	if nt < 0 || nw < 0 || nd < 0 ||
+		(magic == ckptV2Magic && len(b) != body) ||
+		(magic == ckptV3Magic && (len(b) < body+16 || len(b)%8 != 0)) {
 		return nil, fmt.Errorf("server: checkpoint payload size mismatch")
 	}
 	idx := 7
@@ -156,6 +214,67 @@ func decodeCkpt(b []byte) (*ckptPayload, error) {
 	for i := 0; i < nd; i++ {
 		c.dpt = append(c.dpt, ckptDPT{pid: page.ID(get(idx)), rec: get(idx + 1)})
 		idx += 2
+	}
+	if magic == ckptV3Magic {
+		// The 2PC trailer is variable-length (each entry carries a participant
+		// list), so it is parsed with a running cursor and exact-consumption
+		// check instead of one closed-form size.
+		words := len(b) / 8
+		bad := func() (*ckptPayload, error) {
+			return nil, fmt.Errorf("server: checkpoint 2PC trailer malformed")
+		}
+		np := get(idx)
+		idx++
+		if np > uint64(words) {
+			return bad()
+		}
+		for i := 0; i < int(np); i++ {
+			if idx+4 > words {
+				return bad()
+			}
+			p := ckptPrepared{
+				tid:     logrec.TID(get(idx)),
+				prepLSN: get(idx + 1),
+				coord:   int(get(idx + 2)),
+			}
+			nparts := get(idx + 3)
+			idx += 4
+			if nparts > uint64(words) || idx+int(nparts) > words {
+				return bad()
+			}
+			for j := 0; j < int(nparts); j++ {
+				p.parts = append(p.parts, int(get(idx)))
+				idx++
+			}
+			c.prepared = append(c.prepared, p)
+		}
+		if idx >= words {
+			return bad()
+		}
+		ndec := get(idx)
+		idx++
+		if ndec > uint64(words) {
+			return bad()
+		}
+		for i := 0; i < int(ndec); i++ {
+			if idx+3 > words {
+				return bad()
+			}
+			d := ckptDecided{tid: logrec.TID(get(idx)), lsn: get(idx + 1)}
+			nparts := get(idx + 2)
+			idx += 3
+			if nparts > uint64(words) || idx+int(nparts) > words {
+				return bad()
+			}
+			for j := 0; j < int(nparts); j++ {
+				d.parts = append(d.parts, int(get(idx)))
+				idx++
+			}
+			c.decided = append(c.decided, d)
+		}
+		if idx != words {
+			return bad()
+		}
 	}
 	return c, nil
 }
@@ -295,7 +414,20 @@ func (s *Server) checkpointCore(sn *Session) error {
 	c.beginLSN = s.log.End()
 	for _, t := range s.att {
 		c.txns = append(c.txns, ckptTxn{tid: t.tid, lastLSN: t.lastLSN, firstLSN: t.firstLSN})
+		if t.prepared {
+			c.prepared = append(c.prepared, ckptPrepared{
+				tid:     t.tid,
+				prepLSN: t.prepLSN,
+				coord:   t.coord,
+				parts:   append([]int(nil), t.parts...),
+			})
+		}
 	}
+	s.decMu.Lock()
+	for tid, d := range s.decided {
+		c.decided = append(c.decided, ckptDecided{tid: tid, lsn: d.lsn, parts: append([]int(nil), d.parts...)})
+	}
+	s.decMu.Unlock()
 	s.dptMu.Lock()
 	for pid, e := range s.dpt {
 		c.dpt = append(c.dpt, ckptDPT{pid: pid, rec: e.rec})
@@ -320,6 +452,8 @@ func (s *Server) checkpointCore(sn *Session) error {
 		return c.wpl[i].lsn < c.wpl[j].lsn
 	})
 	sort.Slice(c.dpt, func(i, j int) bool { return c.dpt[i].pid < c.dpt[j].pid })
+	sort.Slice(c.prepared, func(i, j int) bool { return c.prepared[i].tid < c.prepared[j].tid })
+	sort.Slice(c.decided, func(i, j int) bool { return c.decided[i].tid < c.decided[j].tid })
 	rec := &logrec.Record{Type: logrec.TypeCheckpoint, PrevLSN: logrec.NoLSN, After: c.encode()}
 	ckptLSN, err := s.log.Append(rec)
 	if err != nil {
@@ -401,6 +535,9 @@ func (s *Server) Crash() {
 	s.attMu.Lock()
 	s.att = make(map[logrec.TID]*txn)
 	s.attMu.Unlock()
+	s.decMu.Lock()
+	s.decided = make(map[logrec.TID]decidedTxn)
+	s.decMu.Unlock()
 	s.dptMu.Lock()
 	s.dpt = make(map[page.ID]dptEntry)
 	s.dptMu.Unlock()
@@ -496,14 +633,19 @@ func maxTID(a, b logrec.TID) logrec.TID {
 	return b
 }
 
-// bumpAllocFor advances the allocation counters past a scanned record's ids.
-// Caller holds gate.W (restart only).
+// bumpAllocFor advances the allocation counters past a scanned record's ids,
+// in whole strides so a sharded server stays in its residue class even when
+// the record carries another shard's id (an adopted cross-shard TID). Caller
+// holds gate.W (restart) or allocMu (standby apply).
 func (s *Server) bumpAllocFor(r *logrec.Record) {
+	st := s.stride()
 	if r.TID >= s.nextTID {
-		s.nextTID = r.TID + 1
+		n := (uint64(r.TID)-uint64(s.nextTID))/st + 1
+		s.nextTID += logrec.TID(n * st)
 	}
 	if r.Page >= s.nextPage {
-		s.nextPage = r.Page + 1
+		n := (uint64(r.Page)-uint64(s.nextPage))/st + 1
+		s.nextPage += page.ID(n * st)
 	}
 }
 
@@ -519,6 +661,25 @@ func (s *Server) ariesRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint
 				firstLSN: ct.firstLSN,
 				pageLSN:  make(map[page.ID]uint64),
 			}
+		}
+		// Prepared branches whose PREPARE record predates the scan window are
+		// known only through the checkpoint's 2PC trailer.
+		for _, cp := range ckpt.prepared {
+			if t := att[cp.tid]; t != nil {
+				t.prepared = true
+				t.coord = cp.coord
+				t.parts = append([]int(nil), cp.parts...)
+				t.prepLSN = cp.prepLSN
+			}
+		}
+	}
+	// Commit decisions awaiting the forget protocol: seeded from the
+	// checkpoint, extended by DECIDE records in the scan, retired by forget
+	// End records.
+	decided := make(map[logrec.TID]decidedTxn)
+	if ckpt != nil {
+		for _, cd := range ckpt.decided {
+			decided[cd.tid] = decidedTxn{lsn: cd.lsn, parts: append([]int(nil), cd.parts...)}
 		}
 	}
 	// The DPT is seeded from the checkpoint's logged entries (fuzzy
@@ -564,9 +725,41 @@ func (s *Server) ariesRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint
 				e.newest = r.LSN
 			}
 			dpt[r.Page] = e
-		case logrec.TypeCommit, logrec.TypeEnd, logrec.TypeAbort:
-			if r.Type != logrec.TypeAbort {
-				delete(att, r.TID)
+		case logrec.TypePrepare:
+			t := att[r.TID]
+			if t == nil {
+				t = &txn{tid: r.TID, lastLSN: logrec.NoLSN, firstLSN: logrec.NoLSN, pageLSN: make(map[page.ID]uint64)}
+				att[r.TID] = t
+			}
+			t.lastLSN = r.LSN
+			if t.firstLSN == logrec.NoLSN {
+				t.firstLSN = r.LSN
+			}
+			t.prepared = true
+			t.prepLSN = r.LSN
+			if coord, parts, perr := logrec.DecodePrepareInfo(r.After); perr == nil {
+				t.coord = coord
+				t.parts = parts
+			}
+		case logrec.TypeDecide:
+			if _, ok := decided[r.TID]; !ok {
+				if _, parts, perr := logrec.DecodePrepareInfo(r.After); perr == nil {
+					decided[r.TID] = decidedTxn{lsn: r.LSN, parts: parts}
+				}
+			}
+		case logrec.TypeCommit:
+			delete(att, r.TID)
+		case logrec.TypeEnd:
+			delete(att, r.TID)
+			// A forget End retires the decided entry; for a rolled-back loser
+			// this is a harmless no-op.
+			delete(decided, r.TID)
+		case logrec.TypeAbort:
+			if t := att[r.TID]; t != nil {
+				// The abort decision was delivered before the crash: the branch
+				// is an ordinary loser again (its CLRs may be partial), not in
+				// doubt.
+				t.prepared = false
 			}
 		}
 		s.bumpAllocFor(r)
@@ -597,6 +790,17 @@ func (s *Server) ariesRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint
 	}
 	sort.Slice(losers, func(i, j int) bool { return losers[i].tid < losers[j].tid })
 	for _, t := range losers {
+		if t.prepared {
+			// In doubt: the branch voted yes and the coordinator's outcome is
+			// unknown here. Redo has already reapplied its pages; resurrect the
+			// ATT entry with its locks and leave it — neither committed nor
+			// rolled back — for recovery resolution (presumed abort on a
+			// coordinator miss).
+			if err := s.resurrectInDoubt(t); err != nil {
+				return err
+			}
+			continue
+		}
 		if t.lastLSN != logrec.NoLSN {
 			r, err := s.log.ReadAt(t.lastLSN)
 			if err != nil {
@@ -629,6 +833,11 @@ func (s *Server) ariesRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint
 		}
 	}
 	sn.meter().LogWrite(s.log.Force())
+	// Install the surviving commit decisions so resolution requests can be
+	// answered as soon as the server is open.
+	s.decMu.Lock()
+	s.decided = decided
+	s.decMu.Unlock()
 	// Install the analysis DPT, pruned to frames still dirty after redo and
 	// undo, so the checkpoint that ends restart — and every fuzzy checkpoint
 	// and cleaner pass after it — sees the redone-but-unflushed pages.
@@ -788,6 +997,15 @@ func (s *Server) redoQuiesced(sn *Session, dpt map[page.ID]dptEntry, redoFrom ui
 func (s *Server) wplRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint64) error {
 	ctl := make(map[logrec.TID]bool)
 	table := make(map[page.ID]*wplEntry)
+	// 2PC state (DESIGN.md §16), rebuilt in the same backward pass. A
+	// transaction is in doubt iff its PREPARE record has no Commit/Abort/End
+	// after it — in backward order, iff none of those was seen before the
+	// PREPARE. A decision survives iff no (forget) End follows it.
+	resolved := make(map[logrec.TID]bool) // Commit/Abort/End seen above
+	endSeen := make(map[logrec.TID]bool)
+	indoubt := make(map[logrec.TID]*txn)
+	images := make(map[logrec.TID][]*wplEntry) // in-doubt copies, newest first
+	decided := make(map[logrec.TID]decidedTxn)
 	scanFrom := start
 	if ckpt != nil && ckpt.beginLSN == 0 {
 		// Legacy checkpoint: the backward scan stops just past the record. A
@@ -806,12 +1024,48 @@ func (s *Server) wplRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint64
 		switch r.Type {
 		case logrec.TypeCommit:
 			ctl[r.TID] = true
+			resolved[r.TID] = true
+		case logrec.TypeAbort:
+			resolved[r.TID] = true
+		case logrec.TypeEnd:
+			resolved[r.TID] = true
+			endSeen[r.TID] = true
+		case logrec.TypeDecide:
+			if !endSeen[r.TID] {
+				if _, ok := decided[r.TID]; !ok {
+					if _, parts, perr := logrec.DecodePrepareInfo(r.After); perr == nil {
+						decided[r.TID] = decidedTxn{lsn: r.LSN, parts: parts}
+					}
+				}
+			}
+		case logrec.TypePrepare:
+			if !resolved[r.TID] {
+				t := &txn{
+					tid:      r.TID,
+					lastLSN:  r.LSN,
+					firstLSN: r.LSN,
+					pageLSN:  make(map[page.ID]uint64),
+					prepared: true,
+					prepLSN:  r.LSN,
+				}
+				if coord, parts, perr := logrec.DecodePrepareInfo(r.After); perr == nil {
+					t.coord = coord
+					t.parts = parts
+				}
+				indoubt[r.TID] = t
+			}
 		case logrec.TypePageImage:
 			if ctl[r.TID] {
 				if _, ok := table[r.Page]; !ok {
 					// Backward scan: first copy seen is the newest committed.
 					table[r.Page] = &wplEntry{pid: r.Page, lsn: r.LSN, tid: r.TID, committed: true}
 				}
+			}
+			if t := indoubt[r.TID]; t != nil {
+				// The PREPARE lies above its images, so the branch is already
+				// known in doubt when its copies stream past.
+				images[r.TID] = append(images[r.TID], &wplEntry{pid: r.Page, lsn: r.LSN, tid: r.TID})
+				t.firstLSN = r.LSN // monotone: the last assignment is the oldest
 			}
 		}
 		return true
@@ -830,6 +1084,47 @@ func (s *Server) wplRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint64
 				continue
 			}
 			table[w.pid] = &wplEntry{pid: w.pid, lsn: w.lsn, tid: w.tid, committed: true}
+		}
+		// Prepared branches whose PREPARE record predates the scan window are
+		// known only through the checkpoint's 2PC trailer — unless the scan saw
+		// their outcome, in which case they are resolved, not in doubt.
+		for _, cp := range ckpt.prepared {
+			if resolved[cp.tid] {
+				continue
+			}
+			if _, ok := indoubt[cp.tid]; ok {
+				continue
+			}
+			indoubt[cp.tid] = &txn{
+				tid:      cp.tid,
+				lastLSN:  cp.prepLSN,
+				firstLSN: cp.prepLSN,
+				pageLSN:  make(map[page.ID]uint64),
+				prepared: true,
+				prepLSN:  cp.prepLSN,
+				coord:    cp.coord,
+				parts:    append([]int(nil), cp.parts...),
+			}
+		}
+		// In-doubt copies shipped before the snapshot live only in the
+		// checkpointed (uncommitted) table entries.
+		for _, w := range ckpt.wpl {
+			t := indoubt[w.tid]
+			if t == nil || w.committed {
+				continue
+			}
+			images[w.tid] = append(images[w.tid], &wplEntry{pid: w.pid, lsn: w.lsn, tid: w.tid})
+			if w.lsn < t.firstLSN {
+				t.firstLSN = w.lsn
+			}
+		}
+		for _, cd := range ckpt.decided {
+			if endSeen[cd.tid] {
+				continue
+			}
+			if _, ok := decided[cd.tid]; !ok {
+				decided[cd.tid] = decidedTxn{lsn: cd.lsn, parts: append([]int(nil), cd.parts...)}
+			}
 		}
 	}
 	// Normal processing could resume here; install everything so the log can
@@ -853,6 +1148,49 @@ func (s *Server) wplRestartQuiesced(sn *Session, ckpt *ckptPayload, start uint64
 		atomic.AddInt64(&s.stats.DataWrites, 1)
 		atomic.AddInt64(&s.stats.WPLInstalls, 1)
 	}
+	// Resurrect in-doubt branches: rebuild their uncommitted WPL chains (the
+	// no-steal rule keeps these copies off their permanent locations until a
+	// commit decision arrives; reads reload them from the log), re-acquire
+	// their locks, and leave the ATT entries for recovery resolution. Their
+	// firstLSN pins the truncation head, so the images stay readable.
+	tids := make([]logrec.TID, 0, len(indoubt))
+	for tid := range indoubt {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		t := indoubt[tid]
+		ents := images[tid]
+		// Oldest-first = the original ship order; an image seen by both the
+		// scan and the checkpointed table appears twice and is deduped by LSN.
+		sort.Slice(ents, func(i, j int) bool { return ents[i].lsn < ents[j].lsn })
+		byPage := make(map[page.ID]*wplEntry)
+		for _, e := range ents {
+			if cur := byPage[e.pid]; cur != nil && cur.lsn == e.lsn {
+				continue
+			}
+			e.prev = byPage[e.pid] // nil for the oldest: below it is the store's committed copy
+			byPage[e.pid] = e
+			t.wplPages = append(t.wplPages, e.pid)
+			t.pageLSN[e.pid] = e.lsn
+		}
+		s.wplMu.Lock()
+		for pid, head := range byPage {
+			s.wpl[pid] = head
+		}
+		s.wplMu.Unlock()
+		//qslint:allow determinism: in-doubt age reporting only (qsctl 2pc-status); never logged, no control flow depends on it
+		t.prepTime = time.Now()
+		s.attMu.Lock()
+		s.att[tid] = t
+		s.attMu.Unlock()
+		if err := s.relockInDoubt(t); err != nil {
+			return err
+		}
+	}
+	s.decMu.Lock()
+	s.decided = decided
+	s.decMu.Unlock()
 	return nil
 }
 

@@ -114,11 +114,24 @@ var (
 	// diverge it. Read-only sessions are served; everything else waits for
 	// promotion.
 	ErrStandby = errors.New("server: standby is read-only until promoted")
+	// ErrInDoubt is returned for a unilateral Commit/Abort of a prepared
+	// transaction branch: once a branch has voted yes its fate belongs to the
+	// coordinator, and only Decide (or restart resolution) may finish it.
+	ErrInDoubt = errors.New("server: transaction is prepared (in doubt); awaiting coordinator decision")
 )
 
 // Config configures a Server.
 type Config struct {
-	Mode        Mode
+	Mode Mode
+	// ShardID / ShardCount place this server in a sharded deployment
+	// (internal/shard, DESIGN.md §16). With ShardCount > 1 the server
+	// allocates page ids and TIDs in its own residue class — ids ≡ ShardID+1
+	// (mod ShardCount) — so the router can derive a page's home shard from
+	// its id alone and a coordinator-issued global TID never collides with
+	// another shard's local allocation. ShardCount 0 or 1 is the single-node
+	// layout (stride 1, unchanged ids).
+	ShardID     int
+	ShardCount  int
 	Store       disk.Store    // stable data volume; NewMemStore if nil
 	LogCapacity int           // log bytes; wal.DefaultCapacity if 0
 	PoolPages   int           // server buffer pool frames; default 4608 (36 MB)
@@ -226,28 +239,31 @@ const superblockPage page.ID = 0
 // Stats counts server-side work. Fields are updated with atomics; read them
 // through Stats() / ExtendedStats().
 type Stats struct {
-	LogPagesReceived   int64 // client→server log record pages (ESM/REDO)
-	DirtyPagesReceived int64 // client→server dirty pages (ESM/WPL)
-	PagesServed        int64 // server→client page fetches
-	DataReads          int64 // data-disk page reads
-	DataWrites         int64 // data-disk page writes
-	LogRecordsApplied  int64 // REDO applications
-	WPLInstalls        int64 // WPL pages installed to their home location
-	WPLLogReloads      int64 // WPL pages re-read from the log
-	Commits            int64
-	Aborts             int64
-	Checkpoints        int64
-	CheckpointsFailed  int64 // checkpoints abandoned on a disk error (retried later)
-	InstallsDeferred   int64 // WPL installs deferred on a disk error (page stays in the WPL table)
-	Restarts           int64
-	ScrubScanned       int64 // pages verified by the scrubber
-	ChecksumFailures   int64 // reads that hit a corrupt page (rot, tear, misdirection)
-	PagesRepaired      int64 // corrupt pages rebuilt and written home
-	PagesUnrepairable  int64 // corrupt pages no source could rebuild
-	CleanerPages       int64 // dirty pages written home by the cleaner
-	CleanerPasses      int64 // cleaner passes (ticks + backpressure batches)
-	CleanerHotSkips    int64 // cleaner candidates skipped as recently used
-	CkptStallNs        int64 // cumulative wall time commits were excluded by sharp checkpoints
+	LogPagesReceived    int64 // client→server log record pages (ESM/REDO)
+	DirtyPagesReceived  int64 // client→server dirty pages (ESM/WPL)
+	PagesServed         int64 // server→client page fetches
+	DataReads           int64 // data-disk page reads
+	DataWrites          int64 // data-disk page writes
+	LogRecordsApplied   int64 // REDO applications
+	WPLInstalls         int64 // WPL pages installed to their home location
+	WPLLogReloads       int64 // WPL pages re-read from the log
+	Commits             int64
+	Aborts              int64
+	Checkpoints         int64
+	CheckpointsFailed   int64 // checkpoints abandoned on a disk error (retried later)
+	InstallsDeferred    int64 // WPL installs deferred on a disk error (page stays in the WPL table)
+	Restarts            int64
+	ScrubScanned        int64 // pages verified by the scrubber
+	ChecksumFailures    int64 // reads that hit a corrupt page (rot, tear, misdirection)
+	PagesRepaired       int64 // corrupt pages rebuilt and written home
+	PagesUnrepairable   int64 // corrupt pages no source could rebuild
+	CleanerPages        int64 // dirty pages written home by the cleaner
+	CleanerPasses       int64 // cleaner passes (ticks + backpressure batches)
+	CleanerHotSkips     int64 // cleaner candidates skipped as recently used
+	CkptStallNs         int64 // cumulative wall time commits were excluded by sharp checkpoints
+	TwoPCPrepares       int64 // participant branches prepared (forced PREPARE records)
+	TwoPCPresumedAborts int64 // resolution requests answered "no decision" (presumed abort)
+	TwoPCResolutions    int64 // recovery-resolution round-trips served (ResolveInDoubt calls)
 }
 
 // StatsX extends Stats with the concurrency counters introduced with group
@@ -285,6 +301,16 @@ type txn struct {
 	pageLSN map[page.ID]uint64
 	// wplPages lists pages logged for this transaction under WPL, in order.
 	wplPages []page.ID
+	// 2PC branch state (DESIGN.md §16). A prepared branch has voted yes: its
+	// PREPARE record is forced, its locks are pinned, and only a coordinator
+	// decision (or restart resolution) may finish it. coord/parts echo the
+	// PREPARE payload; prepLSN locates it; prepTime feeds in-doubt age
+	// reporting only.
+	prepared bool
+	coord    int
+	parts    []int
+	prepLSN  uint64
+	prepTime time.Time
 }
 
 // dptEntry is a dirty page table entry. rec is the recLSN: the oldest log
@@ -336,6 +362,16 @@ type Server struct {
 
 	attMu sync.Mutex
 	att   map[logrec.TID]*txn
+
+	// decMu guards the coordinator's decided-transactions map: commit
+	// decisions whose DECIDE record is stable but whose participants have not
+	// all confirmed (the presumed-abort "recovery table"). An abort decision
+	// is never entered — absence IS the abort answer. decMu is a leaf like
+	// attMu; the decision append nests it inside an attMu section (logDecision)
+	// so a fuzzy checkpoint's snapshot cannot miss a decision it will not
+	// re-scan.
+	decMu   sync.Mutex
+	decided map[logrec.TID]decidedTxn
 
 	dptMu    sync.Mutex
 	dpt      map[page.ID]dptEntry // dirty page table (ESM/REDO)
@@ -407,11 +443,19 @@ func New(cfg Config) *Server {
 		locks:    lock.NewManager(cfg.LockTimeout),
 		pool:     buffer.NewSharded(cfg.PoolPages, cfg.PoolShards),
 		att:      make(map[logrec.TID]*txn),
+		decided:  make(map[logrec.TID]decidedTxn),
 		dpt:      make(map[page.ID]dptEntry),
 		cleaning: make(map[page.ID]bool),
 		wpl:      make(map[page.ID]*wplEntry),
 		nextTID:  1,
 		nextPage: 1,
+	}
+	if cfg.ShardCount > 1 {
+		// Residue-class allocation: shard i hands out ids ≡ i+1 (mod N), so
+		// page 0 (the superblock) belongs to no shard and shardOf(pid) is a
+		// pure function of the id.
+		s.nextTID = logrec.TID(cfg.ShardID + 1)
+		s.nextPage = page.ID(cfg.ShardID + 1)
 	}
 	s.standby.Store(cfg.Standby)
 	if cfg.GroupCommitDelay > 0 {
@@ -470,28 +514,31 @@ func (s *Server) Mode() Mode { return s.cfg.Mode }
 func (s *Server) Stats() Stats {
 	ld := func(p *int64) int64 { return atomic.LoadInt64(p) }
 	return Stats{
-		LogPagesReceived:   ld(&s.stats.LogPagesReceived),
-		DirtyPagesReceived: ld(&s.stats.DirtyPagesReceived),
-		PagesServed:        ld(&s.stats.PagesServed),
-		DataReads:          ld(&s.stats.DataReads),
-		DataWrites:         ld(&s.stats.DataWrites),
-		LogRecordsApplied:  ld(&s.stats.LogRecordsApplied),
-		WPLInstalls:        ld(&s.stats.WPLInstalls),
-		WPLLogReloads:      ld(&s.stats.WPLLogReloads),
-		Commits:            ld(&s.stats.Commits),
-		Aborts:             ld(&s.stats.Aborts),
-		Checkpoints:        ld(&s.stats.Checkpoints),
-		CheckpointsFailed:  ld(&s.stats.CheckpointsFailed),
-		InstallsDeferred:   ld(&s.stats.InstallsDeferred),
-		Restarts:           ld(&s.stats.Restarts),
-		ScrubScanned:       ld(&s.stats.ScrubScanned),
-		ChecksumFailures:   ld(&s.stats.ChecksumFailures),
-		PagesRepaired:      ld(&s.stats.PagesRepaired),
-		PagesUnrepairable:  ld(&s.stats.PagesUnrepairable),
-		CleanerPages:       ld(&s.stats.CleanerPages),
-		CleanerPasses:      ld(&s.stats.CleanerPasses),
-		CleanerHotSkips:    ld(&s.stats.CleanerHotSkips),
-		CkptStallNs:        ld(&s.stats.CkptStallNs),
+		LogPagesReceived:    ld(&s.stats.LogPagesReceived),
+		DirtyPagesReceived:  ld(&s.stats.DirtyPagesReceived),
+		PagesServed:         ld(&s.stats.PagesServed),
+		DataReads:           ld(&s.stats.DataReads),
+		DataWrites:          ld(&s.stats.DataWrites),
+		LogRecordsApplied:   ld(&s.stats.LogRecordsApplied),
+		WPLInstalls:         ld(&s.stats.WPLInstalls),
+		WPLLogReloads:       ld(&s.stats.WPLLogReloads),
+		Commits:             ld(&s.stats.Commits),
+		Aborts:              ld(&s.stats.Aborts),
+		Checkpoints:         ld(&s.stats.Checkpoints),
+		CheckpointsFailed:   ld(&s.stats.CheckpointsFailed),
+		InstallsDeferred:    ld(&s.stats.InstallsDeferred),
+		Restarts:            ld(&s.stats.Restarts),
+		ScrubScanned:        ld(&s.stats.ScrubScanned),
+		ChecksumFailures:    ld(&s.stats.ChecksumFailures),
+		PagesRepaired:       ld(&s.stats.PagesRepaired),
+		PagesUnrepairable:   ld(&s.stats.PagesUnrepairable),
+		CleanerPages:        ld(&s.stats.CleanerPages),
+		CleanerPasses:       ld(&s.stats.CleanerPasses),
+		CleanerHotSkips:     ld(&s.stats.CleanerHotSkips),
+		CkptStallNs:         ld(&s.stats.CkptStallNs),
+		TwoPCPrepares:       ld(&s.stats.TwoPCPrepares),
+		TwoPCPresumedAborts: ld(&s.stats.TwoPCPresumedAborts),
+		TwoPCResolutions:    ld(&s.stats.TwoPCResolutions),
 	}
 }
 
@@ -543,6 +590,15 @@ func (s *Server) enter() func() {
 		}
 	}
 	return s.gate.RUnlock
+}
+
+// stride is the allocation step for page ids and TIDs: ShardCount in a
+// sharded deployment (each shard stays in its residue class), 1 otherwise.
+func (s *Server) stride() uint64 {
+	if s.cfg.ShardCount > 1 {
+		return uint64(s.cfg.ShardCount)
+	}
+	return 1
 }
 
 // lookupTxn finds tid's ATT entry.
@@ -608,7 +664,7 @@ func (sn *Session) Begin() logrec.TID {
 		s.roTID++
 	} else {
 		tid = s.nextTID
-		s.nextTID++
+		s.nextTID += logrec.TID(s.stride())
 	}
 	s.allocMu.Unlock()
 	t := &txn{
@@ -645,7 +701,7 @@ func (sn *Session) AllocPage(tid logrec.TID) (page.ID, error) {
 	}
 	s.allocMu.Lock()
 	pid := s.nextPage
-	s.nextPage++
+	s.nextPage += page.ID(s.stride())
 	s.allocMu.Unlock()
 	exit()
 	// New pages are implicitly exclusive to their creator.
@@ -1041,6 +1097,13 @@ func (sn *Session) Commit(tid logrec.TID) error {
 		s.locks.ReleaseAll(tid)
 		return nil
 	}
+	if t.prepared {
+		// A prepared branch's fate belongs to the coordinator. Decide(true)
+		// clears the flag (after the decision is stable) before re-entering
+		// here.
+		exit()
+		return fmt.Errorf("%w: %v", ErrInDoubt, tid)
+	}
 	c := logrec.NewCommit(tid)
 	c.PrevLSN = t.lastLSN
 	// The commit append, the ATT chain update and (under WPL) the committed
@@ -1253,6 +1316,26 @@ func (sn *Session) Abort(tid logrec.TID) error {
 			return ErrStandby
 		}
 		// Read-only standby session: release without logging, as in Commit.
+		s.attMu.Lock()
+		delete(s.att, tid)
+		s.attMu.Unlock()
+		exit()
+		s.locks.ReleaseAll(tid)
+		return nil
+	}
+	if t.prepared {
+		// An in-doubt branch must survive client disconnects and unilateral
+		// rollback attempts: only Decide(false) — or restart resolution's
+		// presumed abort — may roll it back.
+		exit()
+		return fmt.Errorf("%w: %v", ErrInDoubt, tid)
+	}
+	if t.lastLSN == logrec.NoLSN {
+		// Nothing was ever logged for this transaction — a read-only branch,
+		// or an empty one a sharded router opened and never used. There is
+		// nothing to undo and restart treats unknown ids as aborted, so it is
+		// dropped without appending or forcing anything.
+		atomic.AddInt64(&s.stats.Aborts, 1)
 		s.attMu.Lock()
 		delete(s.att, tid)
 		s.attMu.Unlock()

@@ -176,7 +176,60 @@ func (sn *Session) ApplyShipped(r *logrec.Record) error {
 			}
 		}
 		delete(s.att, r.TID)
+		s.decMu.Lock()
+		delete(s.decided, r.TID) // a forget End retires the mirrored decision
+		s.decMu.Unlock()
 		s.attMu.Unlock()
+		return nil
+
+	case logrec.TypePrepare:
+		// Mirror the primary's prepared marking so promotion resurrects the
+		// branch in doubt exactly as the primary's own restart would.
+		s.attMu.Lock()
+		if appendIt {
+			if err := s.appendShippedLocked(r); err != nil {
+				s.attMu.Unlock()
+				return err
+			}
+		}
+		t := s.shippedTxnLocked(r.TID)
+		t.lastLSN = r.LSN
+		if t.firstLSN == logrec.NoLSN {
+			t.firstLSN = r.LSN
+		}
+		t.prepared = true
+		t.prepLSN = r.LSN
+		if coord, parts, perr := logrec.DecodePrepareInfo(r.After); perr == nil {
+			t.coord = coord
+			t.parts = parts
+		}
+		s.attMu.Unlock()
+		s.allocMu.Lock()
+		s.bumpAllocFor(r)
+		s.allocMu.Unlock()
+		return nil
+
+	case logrec.TypeDecide:
+		// The decision is not chained into any branch; mirror the decided map
+		// so a promoted coordinator can answer resolution requests.
+		s.attMu.Lock()
+		if appendIt {
+			if err := s.appendShippedLocked(r); err != nil {
+				s.attMu.Unlock()
+				return err
+			}
+		}
+		s.decMu.Lock()
+		if _, ok := s.decided[r.TID]; !ok {
+			if _, parts, perr := logrec.DecodePrepareInfo(r.After); perr == nil {
+				s.decided[r.TID] = decidedTxn{lsn: r.LSN, parts: parts}
+			}
+		}
+		s.decMu.Unlock()
+		s.attMu.Unlock()
+		s.allocMu.Lock()
+		s.bumpAllocFor(r)
+		s.allocMu.Unlock()
 		return nil
 
 	case logrec.TypeCheckpoint:

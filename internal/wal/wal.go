@@ -7,6 +7,13 @@
 // crash discards the unforced tail. The log can be scanned forward from any
 // record boundary (ARIES redo), read at a specific LSN (WPL page reload),
 // and truncated from the head as space is reclaimed.
+//
+// The log has no notion of why a force happens. Commit forces, two-phase
+// commit's forced PREPARE and DECIDE records (a prepared participant's vote
+// and the coordinator's commit point both require stability before the
+// message that reveals them), and checkpoint forces all funnel through the
+// same Force/CommitWait path, so 2PC forces batch into group-commit flushes
+// exactly like ordinary commits.
 package wal
 
 import (

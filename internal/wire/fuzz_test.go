@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/logrec"
 	"repro/internal/server"
 )
 
@@ -14,6 +15,13 @@ func FuzzParseRequest(f *testing.F) {
 	f.Add([]byte{opBegin, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xaa}, 64))
+	// 2PC ops: a prepare frame carrying a participant-set payload, a decide
+	// frame for each mode byte, and a resolution request.
+	f.Add(append([]byte{opPrepare, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		logrec.EncodePrepareInfo(1, []int{0, 1})...))
+	f.Add([]byte{opDecide, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, decideCommit})
+	f.Add([]byte{opDecide, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, decideForget})
+	f.Add([]byte{opResolveInDoubt, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, body []byte) {
 		fr, err := parseRequest(body)
 		if err != nil {
@@ -42,6 +50,11 @@ func FuzzServerAgainstGarbage(f *testing.F) {
 	f.Add([]byte{1, 2, 3})
 	f.Add(bytes.Repeat([]byte{0}, 32))
 	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})
+	// Framed 2PC ops with garbage payloads: a prepare whose participant-set
+	// blob is corrupt and a decide with an undefined mode byte must both come
+	// back as clean errors, not crash the dispatcher.
+	f.Add([]byte{18, 0, 0, 0, opPrepare, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef})
+	f.Add([]byte{14, 0, 0, 0, opDecide, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 99})
 	f.Fuzz(func(t *testing.T, garbage []byte) {
 		conn, err := net.Dial("tcp", lis.Addr().String())
 		if err != nil {

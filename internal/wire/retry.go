@@ -94,6 +94,7 @@ func transient(err error) bool {
 		return false
 	case errors.Is(err, lock.ErrDeadlock),
 		errors.Is(err, server.ErrNoTxn),
+		errors.Is(err, server.ErrInDoubt),
 		errors.Is(err, ErrTxnAbortedByFault):
 		return false
 	case errors.Is(err, faultinject.ErrInjected):

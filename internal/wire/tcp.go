@@ -48,6 +48,17 @@ const (
 	opScrub     // verify/repair stored pages now (management, not part of Service)
 	opReplFetch // standby pull of stable WAL records (management, not part of Service)
 	opPromote   // promote a standby to primary (management, not part of Service)
+	// Two-phase commit (the TwoPC surface; Adopt rides opBegin with tid≠0).
+	opPrepare        // force a PREPARE record and vote yes
+	opDecide         // deliver the outcome; mode selects abort/commit/forget
+	opResolveInDoubt // recovery resolution against the coordinator shard
+)
+
+// opDecide mode byte values.
+const (
+	decideAbort  = 0
+	decideCommit = 1
+	decideForget = 2
 )
 
 // opName returns the stable human-readable name of an op code, used as the
@@ -84,6 +95,12 @@ func opName(op byte) string {
 		return "repl-fetch"
 	case opPromote:
 		return "promote"
+	case opPrepare:
+		return "prepare"
+	case opDecide:
+		return "decide"
+	case opResolveInDoubt:
+		return "resolve-in-doubt"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}
@@ -133,6 +150,7 @@ const (
 	stCorrupt    // a corrupt page was detected and could not be repaired
 	stReplGap    // repl fetch cursor below the primary's log head (re-bootstrap)
 	stStandby    // this server is a standby; writes must go to the primary
+	stInDoubt    // the transaction is prepared; only its coordinator's decision ends it
 )
 
 // ErrTxnAbortedByFault is the client-side form of stFaultAbort: the server
@@ -231,6 +249,9 @@ type DaemonStats struct {
 	Standby *repl.StandbyStatus `json:"standby,omitempty"`
 	// Ops counts requests served per wire op since the daemon started.
 	Ops map[string]int64 `json:"ops,omitempty"`
+	// InDoubt lists prepared-but-unresolved transaction branches on this
+	// shard (qsctl 2pc-status and the router's recovery-resolution driver).
+	InDoubt []server.InDoubtTxn `json:"in_doubt,omitempty"`
 }
 
 // Serve accepts connections on lis and dispatches requests to srv until the
@@ -272,6 +293,9 @@ func serveConn(conn net.Conn, srv *server.Server, opts ServeOpts, ops *opCounter
 		}
 		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 		for _, tid := range tids {
+			// A prepared branch refuses the abort (ErrInDoubt) and survives the
+			// disconnect: a yes vote binds the shard until the coordinator's
+			// decision arrives, client crash or no client crash.
 			sn.Abort(tid)
 		}
 	}()
@@ -311,6 +335,10 @@ func serveConn(conn net.Conn, srv *server.Server, opts ServeOpts, ops *opCounter
 				active[logrec.TID(binary.LittleEndian.Uint64(payload))] = true
 			case opCommit, opAbort:
 				delete(active, f.tid)
+			case opDecide:
+				if f.mode != decideForget {
+					delete(active, f.tid)
+				}
 			}
 		case stFaultAbort:
 			// Graceful degradation: a disk fault failed this request, not the
@@ -362,7 +390,7 @@ func handleFaults(fs *faultinject.Store, payload []byte) (byte, []byte) {
 // counter snapshot, JSON-encoded (a management op, so a self-describing
 // format beats another hand-rolled binary layout).
 func handleStats(srv *server.Server, opts ServeOpts, ops *opCounters) (byte, []byte) {
-	ds := DaemonStats{StatsX: srv.ExtendedStats(), Ops: ops.snapshot()}
+	ds := DaemonStats{StatsX: srv.ExtendedStats(), Ops: ops.snapshot(), InDoubt: srv.InDoubt()}
 	if opts.Archive != nil {
 		st := opts.Archive.Status()
 		ds.Archive = &st
@@ -481,13 +509,24 @@ func dispatch(sn *server.Session, f frame) (byte, []byte) {
 			return stCorrupt, []byte(err.Error())
 		case errors.Is(err, server.ErrStandby):
 			return stStandby, []byte(err.Error())
+		case errors.Is(err, server.ErrInDoubt):
+			return stInDoubt, []byte(err.Error())
 		default:
 			return stError, []byte(err.Error())
 		}
 	}
 	switch f.op {
 	case opBegin:
-		tid := sn.Begin()
+		// A non-zero tid is an Adopt: the router registering a
+		// coordinator-issued transaction id on this shard.
+		tid := f.tid
+		if tid != 0 {
+			if err := sn.Adopt(tid); err != nil {
+				return fail(err)
+			}
+		} else {
+			tid = sn.Begin()
+		}
 		var out [8]byte
 		binary.LittleEndian.PutUint64(out[:], uint64(tid))
 		return stOK, out[:]
@@ -530,6 +569,43 @@ func dispatch(sn *server.Session, f frame) (byte, []byte) {
 			return fail(err)
 		}
 		return stOK, nil
+	case opPrepare:
+		coord, parts, err := logrec.DecodePrepareInfo(f.payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := sn.Prepare(f.tid, coord, parts); err != nil {
+			return fail(err)
+		}
+		return stOK, nil
+	case opDecide:
+		switch f.mode {
+		case decideAbort, decideCommit:
+			if err := sn.Decide(f.tid, f.mode == decideCommit); err != nil {
+				return fail(err)
+			}
+		case decideForget:
+			if err := sn.Forget(f.tid); err != nil {
+				return fail(err)
+			}
+		default:
+			return stError, []byte(fmt.Sprintf("wire: unknown decide mode %d", f.mode))
+		}
+		return stOK, nil
+	case opResolveInDoubt:
+		commit, parts, err := sn.ResolveInDoubt(f.tid)
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]byte, 5+4*len(parts))
+		if commit {
+			out[0] = 1
+		}
+		binary.LittleEndian.PutUint32(out[1:], uint32(len(parts)))
+		for i, p := range parts {
+			binary.LittleEndian.PutUint32(out[5+4*i:], uint32(p))
+		}
+		return stOK, out
 	default:
 		return stError, []byte(fmt.Sprintf("wire: unknown op %d", f.op))
 	}
@@ -637,6 +713,8 @@ func (c *TCPClient) call(f frame) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", repl.ErrGap, payload)
 	case stStandby:
 		return nil, fmt.Errorf("%w: %s", server.ErrStandby, payload)
+	case stInDoubt:
+		return nil, fmt.Errorf("%w: %s", server.ErrInDoubt, payload)
 	default:
 		return nil, errors.New(string(payload))
 	}

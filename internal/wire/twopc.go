@@ -1,0 +1,260 @@
+package wire
+
+// Two-phase-commit transport surface. The shard router (internal/shard)
+// drives cross-shard atomic commit by calling these methods on each shard's
+// transport alongside the ordinary Service operations. Every method is
+// idempotent server-side (re-delivered votes, decisions, and resolutions are
+// absorbed), so the retry layer may re-send all of them on any transient
+// transport failure — unlike Commit, there is no ambiguous outcome: the
+// forced PREPARE/DECIDE records make the protocol's state machine
+// re-entrant.
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/logrec"
+	"repro/internal/server"
+)
+
+// TwoPC is the two-phase-commit surface of a shard, driven by the router for
+// cross-shard transactions. Implemented by every transport in this package.
+type TwoPC interface {
+	// Adopt registers a coordinator-issued transaction id on this shard
+	// (idempotent), creating an empty branch for it.
+	Adopt(tid logrec.TID) error
+	// Prepare asks the shard to vote yes on tid, forcing a PREPARE record
+	// carrying the coordinator identity and participant set.
+	Prepare(tid logrec.TID, coordinator int, participants []int) error
+	// Decide delivers the coordinator's outcome to tid's branch; on the
+	// coordinator shard a commit decision forces the DECIDE record first.
+	Decide(tid logrec.TID, commit bool) error
+	// Forget retires tid's decided entry on the coordinator once every
+	// participant has confirmed its commit.
+	Forget(tid logrec.TID) error
+	// Resolve answers a recovery-resolution request against the coordinator
+	// shard: commit if the decision is on record, presumed abort otherwise.
+	Resolve(tid logrec.TID) (commit bool, participants []int, err error)
+	// InDoubt lists the shard's prepared-but-unresolved branches.
+	InDoubt() ([]server.InDoubtTxn, error)
+}
+
+// errTwoPCUnsupported surfaces a router pointed at a transport without the
+// 2PC methods (a structural mirror such as faultinject.Transport).
+var errTwoPCUnsupported = errors.New("wire: transport does not support two-phase commit")
+
+// AsTwoPC extracts the TwoPC surface of a Service, unwrapping as needed.
+// Returns nil when the transport does not support it.
+func AsTwoPC(svc Service) TwoPC {
+	t, _ := svc.(TwoPC)
+	return t
+}
+
+// ---- Direct (in-process) ----
+
+// Adopt implements TwoPC.
+func (d *Direct) Adopt(tid logrec.TID) error {
+	d.m.MsgToServer(reqHeader)
+	err := d.sn.Adopt(tid)
+	d.m.MsgToClient(respHeader)
+	return err
+}
+
+// Prepare implements TwoPC.
+func (d *Direct) Prepare(tid logrec.TID, coordinator int, participants []int) error {
+	d.m.MsgToServer(reqHeader + len(logrec.EncodePrepareInfo(coordinator, participants)))
+	err := d.sn.Prepare(tid, coordinator, participants)
+	d.m.MsgToClient(respHeader)
+	return err
+}
+
+// Decide implements TwoPC.
+func (d *Direct) Decide(tid logrec.TID, commit bool) error {
+	d.m.MsgToServer(reqHeader)
+	err := d.sn.Decide(tid, commit)
+	d.m.MsgToClient(respHeader)
+	return err
+}
+
+// Forget implements TwoPC.
+func (d *Direct) Forget(tid logrec.TID) error {
+	d.m.MsgToServer(reqHeader)
+	err := d.sn.Forget(tid)
+	d.m.MsgToClient(respHeader)
+	return err
+}
+
+// Resolve implements TwoPC.
+func (d *Direct) Resolve(tid logrec.TID) (bool, []int, error) {
+	d.m.MsgToServer(reqHeader)
+	commit, parts, err := d.sn.ResolveInDoubt(tid)
+	d.m.MsgToClient(respHeader + 5 + 4*len(parts))
+	return commit, parts, err
+}
+
+// InDoubt implements TwoPC.
+func (d *Direct) InDoubt() ([]server.InDoubtTxn, error) {
+	d.m.MsgToServer(reqHeader)
+	list := d.sn.InDoubt()
+	d.m.MsgToClient(respHeader + 24*len(list))
+	return list, nil
+}
+
+var _ TwoPC = (*Direct)(nil)
+
+// ---- TCPClient ----
+
+// Adopt implements TwoPC: it rides opBegin with a non-zero tid, so old
+// daemons that predate sharding reject it as a malformed Begin rather than
+// silently misrouting it.
+func (c *TCPClient) Adopt(tid logrec.TID) error {
+	if tid == 0 {
+		return errors.New("wire: Adopt of transaction id 0")
+	}
+	_, err := c.call(frame{op: opBegin, tid: tid})
+	return err
+}
+
+// Prepare implements TwoPC.
+func (c *TCPClient) Prepare(tid logrec.TID, coordinator int, participants []int) error {
+	_, err := c.call(frame{
+		op:      opPrepare,
+		tid:     tid,
+		payload: logrec.EncodePrepareInfo(coordinator, participants),
+	})
+	return err
+}
+
+// Decide implements TwoPC.
+func (c *TCPClient) Decide(tid logrec.TID, commit bool) error {
+	mode := byte(decideAbort)
+	if commit {
+		mode = decideCommit
+	}
+	_, err := c.call(frame{op: opDecide, tid: tid, mode: mode})
+	return err
+}
+
+// Forget implements TwoPC. Forget multiplexes onto opDecide with its own
+// mode byte: it is the third and final delivery of an outcome in the forget
+// protocol, and a dedicated op would buy nothing.
+func (c *TCPClient) Forget(tid logrec.TID) error {
+	_, err := c.call(frame{op: opDecide, tid: tid, mode: decideForget})
+	return err
+}
+
+// Resolve implements TwoPC. Response payload: [u8 commit][u32 n][u32 ×n
+// participant shard ids].
+func (c *TCPClient) Resolve(tid logrec.TID) (bool, []int, error) {
+	out, err := c.call(frame{op: opResolveInDoubt, tid: tid})
+	if err != nil {
+		return false, nil, err
+	}
+	if len(out) < 5 {
+		return false, nil, errors.New("wire: short resolve response")
+	}
+	commit := out[0] == 1
+	n := int(binary.LittleEndian.Uint32(out[1:]))
+	if len(out) != 5+4*n {
+		return false, nil, errors.New("wire: bad resolve response")
+	}
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = int(binary.LittleEndian.Uint32(out[5+4*i:]))
+	}
+	return commit, parts, nil
+}
+
+// InDoubt implements TwoPC over the stats management op: the in-doubt list
+// is part of DaemonStats, so qsctl and the router's resolution driver share
+// one code path.
+func (c *TCPClient) InDoubt() ([]server.InDoubtTxn, error) {
+	ds, err := c.ServerStats()
+	if err != nil {
+		return nil, err
+	}
+	return ds.InDoubt, nil
+}
+
+var _ TwoPC = (*TCPClient)(nil)
+
+// ---- retrier ----
+
+// twopc returns the inner transport's 2PC surface, or nil.
+func (c *retrier) twopc() TwoPC {
+	t, _ := c.inner.(TwoPC)
+	return t
+}
+
+// Adopt implements TwoPC (idempotent: re-adopting is a no-op).
+func (c *retrier) Adopt(tid logrec.TID) error {
+	t := c.twopc()
+	if t == nil {
+		return errTwoPCUnsupported
+	}
+	return c.do(resendAlways, func() error { return t.Adopt(tid) })
+}
+
+// Prepare implements TwoPC. Unlike Commit, a re-sent Prepare is safe: the
+// server absorbs re-delivered vote requests after the first forced PREPARE,
+// so ambiguity costs only a duplicate message, never a duplicate effect.
+func (c *retrier) Prepare(tid logrec.TID, coordinator int, participants []int) error {
+	t := c.twopc()
+	if t == nil {
+		return errTwoPCUnsupported
+	}
+	return c.do(resendAlways, func() error { return t.Prepare(tid, coordinator, participants) })
+}
+
+// Decide implements TwoPC (idempotent: deciding a finished branch is a
+// no-op, and the coordinator's decided map absorbs duplicate DECIDEs).
+func (c *retrier) Decide(tid logrec.TID, commit bool) error {
+	t := c.twopc()
+	if t == nil {
+		return errTwoPCUnsupported
+	}
+	return c.do(resendAlways, func() error { return t.Decide(tid, commit) })
+}
+
+// Forget implements TwoPC (idempotent: forgetting a forgotten tid is a
+// no-op).
+func (c *retrier) Forget(tid logrec.TID) error {
+	t := c.twopc()
+	if t == nil {
+		return errTwoPCUnsupported
+	}
+	return c.do(resendAlways, func() error { return t.Forget(tid) })
+}
+
+// Resolve implements TwoPC (a pure lookup; re-asking is free).
+func (c *retrier) Resolve(tid logrec.TID) (bool, []int, error) {
+	t := c.twopc()
+	if t == nil {
+		return false, nil, errTwoPCUnsupported
+	}
+	var commit bool
+	var parts []int
+	err := c.do(resendAlways, func() error {
+		var e error
+		commit, parts, e = t.Resolve(tid)
+		return e
+	})
+	return commit, parts, err
+}
+
+// InDoubt implements TwoPC.
+func (c *retrier) InDoubt() ([]server.InDoubtTxn, error) {
+	t := c.twopc()
+	if t == nil {
+		return nil, errTwoPCUnsupported
+	}
+	var list []server.InDoubtTxn
+	err := c.do(resendAlways, func() error {
+		var e error
+		list, e = t.InDoubt()
+		return e
+	})
+	return list, err
+}
+
+var _ TwoPC = (*retrier)(nil)
